@@ -1,0 +1,52 @@
+// Ablation A2 — TDM slot width. The analytical WCLs scale linearly with
+// S_W (Theorems 4.7/4.8 count slots); a narrower slot lowers latency bounds
+// but must still absorb an LLC fill (lookup + DRAM). This bench sweeps S_W
+// and reports bounds, observed WCL, and execution time.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "sim/runner.h"
+#include "sim/workload.h"
+
+namespace {
+
+using namespace psllc;       // NOLINT
+using namespace psllc::sim;  // NOLINT
+
+int run() {
+  bench::print_header("Ablation: TDM slot width sweep",
+                      "Wu & Patel, DAC'22, system model Section 3 (slot-"
+                      "based bounds)");
+
+  RandomWorkloadOptions workload;
+  workload.range_bytes = 8192;
+  workload.accesses = 15000;
+  workload.write_fraction = 0.25;
+
+  Table table({"S_W (cycles)", "analytical WCL (SS)", "observed WCL",
+               "makespan", "bound holds"});
+  bool all_hold = true;
+  for (const Cycle slot_width : {35, 50, 75, 100, 200}) {
+    auto setup = core::make_paper_setup("SS(1,4,4)", 4);
+    setup.config.slot_width = slot_width;
+    const auto traces = make_disjoint_random_workload(4, workload, 31);
+    const RunMetrics metrics = run_experiment(setup, traces);
+    const bool holds =
+        metrics.completed && metrics.observed_wcl <= metrics.analytical_wcl;
+    all_hold = all_hold && holds;
+    table.add_row({std::to_string(slot_width),
+                   format_cycles(metrics.analytical_wcl),
+                   format_cycles(metrics.observed_wcl),
+                   format_cycles(metrics.makespan),
+                   holds ? "yes" : "NO"});
+  }
+  std::printf("%s\n", table.to_text().c_str());
+  bench::save_csv(table, "ablation_slot_width");
+  std::printf("claim check: bounds scale with S_W and hold: %s\n",
+              all_hold ? "PASS" : "FAIL");
+  return all_hold ? 0 : 1;
+}
+
+}  // namespace
+
+int main() { return run(); }

@@ -1,0 +1,97 @@
+// Experiment E7 — the paper's analytical claims, regenerated from the
+// closed-form analysis (no simulation):
+//  * the Figure 7 analytical lines (5000 / 979250 / 450 cycles);
+//  * Section 4.5's set-sequencer improvement for the "4-core, 16-way LLC
+//    with 128 cache lines" example, including the paper's (m+1)*w
+//    back-of-envelope 2048x versus the exact theorem ratio;
+//  * a sweep showing Theorem 4.7 growing with partition size while
+//    Theorem 4.8 stays flat (the WCL becomes independent of cache and
+//    partition sizes).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/wcl_analysis.h"
+
+namespace {
+
+using namespace psllc;        // NOLINT
+using namespace psllc::core;  // NOLINT
+
+SharedPartitionScenario scenario(int sets, int ways, int n, int m_cua = 64) {
+  SharedPartitionScenario s;
+  s.total_cores = 4;
+  s.sharers = n;
+  s.partition_sets = sets;
+  s.partition_ways = ways;
+  s.cua_capacity_lines = m_cua;
+  return s;
+}
+
+int run() {
+  bench::print_header("Analytical WCL bounds (Theorems 4.7 / 4.8)",
+                      "Wu & Patel, DAC'22, Sections 4.4-4.5 + Figure 7 lines");
+
+  // --- Figure 7 analytical lines ---
+  Table lines({"configuration", "bound", "cycles", "paper"});
+  lines.add_row({"SS(n=4)", "Thm 4.8",
+                 format_cycles(wcl_set_sequencer_cycles(scenario(1, 2, 4))),
+                 "5,000"});
+  lines.add_row({"NSS(1,16,4) m=16", "Thm 4.7",
+                 format_cycles(wcl_1s_tdm_cycles(scenario(1, 16, 4))),
+                 "979,250"});
+  lines.add_row({"P (private)", "2N+1 slots",
+                 format_cycles(wcl_private_cycles(4, kPaperSlotWidth)),
+                 "450"});
+  std::printf("%s\n", lines.to_text().c_str());
+  bench::save_csv(lines, "analysis_fig7_lines");
+
+  // --- Section 4.5 improvement example ---
+  auto example = scenario(8, 16, 4, /*m_cua=*/128);  // 128-line 16-way LLC
+  std::printf(
+      "Section 4.5 example (4 cores, 16-way, 128-line LLC, m = %d):\n"
+      "  Thm 4.7 bound: %s cycles\n"
+      "  Thm 4.8 bound: %s cycles\n"
+      "  exact ratio:   %.1fx   (paper's (m+1)*w back-of-envelope: %dx)\n\n",
+      example.m(), format_cycles(wcl_1s_tdm_cycles(example)).c_str(),
+      format_cycles(wcl_set_sequencer_cycles(example)).c_str(),
+      wcl_improvement_ratio(example),
+      (example.m() + 1) * example.partition_ways);
+
+  // --- bound vs partition size sweep ---
+  Table sweep({"partition (sets x ways)", "M lines", "Thm 4.7 (cycles)",
+               "Thm 4.8 (cycles)", "ratio"});
+  for (const auto& [sets, ways] : std::vector<std::pair<int, int>>{
+           {1, 2}, {1, 4}, {1, 16}, {4, 4}, {8, 8}, {16, 16}, {32, 16}}) {
+    const auto s = scenario(sets, ways, 4);
+    sweep.add_row({std::to_string(sets) + "x" + std::to_string(ways),
+                   std::to_string(s.partition_lines()),
+                   format_cycles(wcl_1s_tdm_cycles(s)),
+                   format_cycles(wcl_set_sequencer_cycles(s)),
+                   format_double(wcl_improvement_ratio(s), 1)});
+  }
+  std::printf("%s\n", sweep.to_text().c_str());
+  bench::save_csv(sweep, "analysis_bound_sweep");
+
+  // --- sharer count sweep (the cubic term) ---
+  Table sharers({"n sharers", "Thm 4.7 (cycles)", "Thm 4.8 (cycles)"});
+  for (int n = 2; n <= 4; ++n) {
+    const auto s = scenario(1, 4, n);
+    sharers.add_row({std::to_string(n),
+                     format_cycles(wcl_1s_tdm_cycles(s)),
+                     format_cycles(wcl_set_sequencer_cycles(s))});
+  }
+  std::printf("%s\n", sharers.to_text().c_str());
+  bench::save_csv(sharers, "analysis_sharer_sweep");
+
+  const bool exact =
+      wcl_set_sequencer_cycles(scenario(1, 2, 4)) == 5000 &&
+      wcl_1s_tdm_cycles(scenario(1, 16, 4)) == 979250 &&
+      wcl_private_cycles(4, kPaperSlotWidth) == 450;
+  std::printf("claim check: Figure 7 analytical lines match exactly: %s\n",
+              exact ? "PASS" : "FAIL");
+  return exact ? 0 : 1;
+}
+
+}  // namespace
+
+int main() { return run(); }

@@ -1,0 +1,62 @@
+// Shared harness for the four Figure 8 panels: execution time of the
+// synthetic workload under a fixed total cache capacity, shared (SS/NSS)
+// vs private (P) partitions.
+#ifndef PSLLC_BENCH_FIG8_COMMON_H_
+#define PSLLC_BENCH_FIG8_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "sim/experiment.h"
+
+namespace psllc::bench {
+
+struct Fig8Panel {
+  std::string title;
+  std::string reference;
+  std::string csv_name;
+  std::vector<sim::SweepConfig> configs;
+  /// Pairs (shared config, P baseline) whose mean speedup is reported, as
+  /// in the paper's "SS achieves an average speedup of X x".
+  std::vector<std::pair<std::string, std::string>> speedups;
+};
+
+inline int run_fig8_panel(const Fig8Panel& panel) {
+  print_header(panel.title, panel.reference);
+  sim::SweepOptions options;
+  options.accesses_per_core = 20000;
+  options.write_fraction = 0.25;
+  options.seed = 8;
+  const sim::SweepResult result = sim::run_sweep(panel.configs, options);
+  const Table table = sim::exec_time_table(result);
+  std::printf("%s\n", table.to_text().c_str());
+  save_csv(table, panel.csv_name);
+
+  bool all_completed = true;
+  for (const auto& cell : result.cells) {
+    all_completed = all_completed && cell.metrics.completed;
+  }
+  for (const auto& [shared, baseline] : panel.speedups) {
+    std::printf("mean speedup of %s over %s: %.2fx\n", shared.c_str(),
+                baseline.c_str(),
+                sim::mean_speedup(result, shared, baseline));
+  }
+  // The paper's equality claim: while the address range fits the per-core
+  // share of the capacity, all configurations behave identically.
+  const auto& first_range_ss = result.cell(0, 0).metrics;
+  bool small_range_equal = true;
+  for (int c = 1; c < static_cast<int>(result.configs.size()); ++c) {
+    small_range_equal = small_range_equal &&
+                        result.cell(0, c).metrics.makespan ==
+                            first_range_ss.makespan;
+  }
+  std::printf("claim check: identical execution time at 1 KiB range: %s\n",
+              small_range_equal ? "PASS" : "FAIL");
+  return all_completed ? 0 : 1;
+}
+
+}  // namespace psllc::bench
+
+#endif  // PSLLC_BENCH_FIG8_COMMON_H_

@@ -1,0 +1,18 @@
+// Figure 8b — 2 cores, 8192 B total capacity: SS(32,4,2) vs NSS(32,4,2)
+// vs P(8,4) (caption) and P(16,4) (capacity-equal split, see fig8a note).
+#include "bench/fig8_common.h"
+
+int main() {
+  psllc::bench::Fig8Panel panel;
+  panel.title = "Figure 8b: execution time, 2-core, 8192 B partition";
+  panel.reference = "Wu & Patel, DAC'22, Section 5.2, Figure 8b";
+  panel.csv_name = "fig8b_2core_8k";
+  panel.configs = {{"SS(32,4,2)", 2},
+                   {"NSS(32,4,2)", 2},
+                   {"P(8,4)", 2},
+                   {"P(16,4)", 2}};
+  panel.speedups = {{"SS(32,4,2)", "P(8,4)"},
+                    {"SS(32,4,2)", "P(16,4)"},
+                    {"SS(32,4,2)", "NSS(32,4,2)"}};
+  return psllc::bench::run_fig8_panel(panel);
+}

@@ -1,0 +1,14 @@
+// Figure 8c — 4 cores, 4096 B total capacity: SS(32,2,4) vs NSS(32,2,4)
+// vs P(8,2). Here the caption's P(8,2) x 4 = 4096 B is capacity-equal.
+#include "bench/fig8_common.h"
+
+int main() {
+  psllc::bench::Fig8Panel panel;
+  panel.title = "Figure 8c: execution time, 4-core, 4096 B partition";
+  panel.reference = "Wu & Patel, DAC'22, Section 5.2, Figure 8c";
+  panel.csv_name = "fig8c_4core_4k";
+  panel.configs = {{"SS(32,2,4)", 4}, {"NSS(32,2,4)", 4}, {"P(8,2)", 4}};
+  panel.speedups = {{"SS(32,2,4)", "P(8,2)"},
+                    {"SS(32,2,4)", "NSS(32,2,4)"}};
+  return psllc::bench::run_fig8_panel(panel);
+}

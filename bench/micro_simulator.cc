@@ -1,0 +1,51 @@
+// Google-benchmark microbenchmark: whole-system simulation throughput
+// (slots per second) for representative configurations.
+#include <benchmark/benchmark.h>
+
+#include "core/system.h"
+#include "sim/workload.h"
+
+namespace {
+
+using namespace psllc;  // NOLINT
+
+void BM_SimulateSlots(benchmark::State& state) {
+  const char* notation = state.range(0) == 0 ? "SS(32,4,4)" : "NSS(1,4,4)";
+  const auto setup = core::make_paper_setup(notation, 4);
+  sim::RandomWorkloadOptions workload;
+  workload.range_bytes = 16384;
+  workload.accesses = 1 << 20;  // effectively endless for the benchmark
+  const auto traces = sim::make_disjoint_random_workload(4, workload, 5);
+  core::System system(setup);
+  for (int c = 0; c < 4; ++c) {
+    system.set_trace(CoreId{c}, traces[static_cast<std::size_t>(c)]);
+  }
+  for (auto _ : state) {
+    system.step_slot();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(notation);
+}
+BENCHMARK(BM_SimulateSlots)->Arg(0)->Arg(1);
+
+void BM_FullRunSmall(benchmark::State& state) {
+  const auto setup = core::make_paper_setup("SS(32,2,2)", 2);
+  sim::RandomWorkloadOptions workload;
+  workload.range_bytes = 4096;
+  workload.accesses = 1000;
+  const auto traces = sim::make_disjoint_random_workload(2, workload, 9);
+  for (auto _ : state) {
+    core::System system(setup);
+    for (int c = 0; c < 2; ++c) {
+      system.set_trace(CoreId{c}, traces[static_cast<std::size_t>(c)]);
+    }
+    const auto result = system.run(1'000'000'000);
+    benchmark::DoNotOptimize(result.all_done);
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);  // accesses per run
+}
+BENCHMARK(BM_FullRunSmall);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+// Mixed-criticality consolidation — the deployment the paper's conclusion
+// envisions: high-criticality tasks keep *private* LLC partitions (lowest
+// WCL), while lower-criticality tasks *share* a partition through the set
+// sequencer (better utilization, still bounded).
+//
+// Scenario (automotive flavour, ISO 26262):
+//   c0 — ASIL-D brake controller     -> private P-style partition
+//   c1 — ASIL-B camera preprocessing -> shared partition (SS)
+//   c2 — ASIL-B radar tracking       -> shared partition (SS)
+//   c3 — QM infotainment             -> shared partition (SS)
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/system.h"
+#include "core/wcl_analysis.h"
+#include "sim/workload.h"
+
+int main() {
+  using namespace psllc;  // NOLINT
+
+  core::SystemConfig config;
+  config.num_cores = 4;
+
+  // Partition plan on the 32-set x 16-way LLC:
+  //   c0: sets 0..7, ways 0..15 (8 KiB private)
+  //   c1-c3: sets 8..31, ways 0..15 (24 KiB shared, set sequencer).
+  llc::PartitionMap partitions(config.llc.geometry);
+  partitions.add_partition(llc::PartitionSpec{0, 8, 0, 16}, {CoreId{0}});
+  partitions.add_partition(llc::PartitionSpec{8, 24, 0, 16},
+                           {CoreId{1}, CoreId{2}, CoreId{3}});
+  config.mode = llc::ContentionMode::kSetSequencer;
+
+  // Analytical guarantees, per core, before running anything.
+  const Cycle wcl_private =
+      core::wcl_private_cycles(config.num_cores, config.slot_width);
+  core::SharedPartitionScenario shared;
+  shared.total_cores = config.num_cores;
+  shared.sharers = 3;
+  shared.partition_sets = 24;
+  shared.partition_ways = 16;
+  shared.cua_capacity_lines = config.private_caches.l2.capacity_lines();
+  const Cycle wcl_shared = core::wcl_set_sequencer_cycles(shared);
+  std::printf("Analytical per-request WCL guarantees:\n");
+  std::printf("  c0 (ASIL-D, private 8 KiB)     : %5lld cycles\n",
+              static_cast<long long>(wcl_private));
+  std::printf("  c1-c3 (shared 24 KiB, SS, n=3) : %5lld cycles\n\n",
+              static_cast<long long>(wcl_shared));
+
+  // Workloads: the brake controller runs a small, tight loop; the shared
+  // cores run bigger working sets that profit from the pooled capacity.
+  core::System system(config, std::move(partitions));
+  system.set_trace(CoreId{0},
+                   sim::make_pointer_chase_trace(0x0, 96, 20000, 1));
+  sim::RandomWorkloadOptions big;
+  big.range_bytes = 12 * 1024;
+  big.accesses = 15000;
+  big.write_fraction = 0.3;
+  for (int c = 1; c < 4; ++c) {
+    system.set_trace(
+        CoreId{c},
+        sim::make_uniform_random_trace(
+            0x100000ULL + static_cast<Addr>(c) * 0x40000ULL, big,
+            mix_seed(99, static_cast<std::uint64_t>(c))));
+  }
+
+  const core::RunResult result = system.run(2'000'000'000);
+  if (!result.all_done) {
+    std::printf("simulation did not complete\n");
+    return 1;
+  }
+
+  std::printf("Observed (max / mean service latency per core):\n");
+  bool all_hold = true;
+  for (int c = 0; c < 4; ++c) {
+    const auto& latencies = system.tracker().service_latency(CoreId{c});
+    const Cycle bound = c == 0 ? wcl_private : wcl_shared;
+    const bool holds = latencies.count() == 0 || latencies.max() <= bound;
+    all_hold = all_hold && holds;
+    std::printf("  c%d: max %5lld, mean %7.1f cycles over %6lld LLC "
+                "requests — bound %5lld: %s\n",
+                c,
+                static_cast<long long>(
+                    latencies.count() > 0 ? latencies.max() : 0),
+                latencies.count() > 0 ? latencies.mean() : 0.0,
+                static_cast<long long>(latencies.count()),
+                static_cast<long long>(bound), holds ? "OK" : "VIOLATED");
+  }
+  std::printf("\nIsolation check: the ASIL-D core's partition is untouched "
+              "by the shared cores\n(back-invalidations never cross "
+              "partitions; see tests/test_system.cc).\n");
+  return all_hold ? 0 : 1;
+}

@@ -1,0 +1,67 @@
+// Partition planning for a consolidated ECU — the workflow the paper's
+// conclusion envisions: decide which tasks need private LLC partitions and
+// which can share one (through the set sequencer), from their timing
+// requirements alone, then validate the plan on the simulator.
+#include <cstdio>
+
+#include "core/system.h"
+#include "rt/partition_planner.h"
+#include "sim/workload.h"
+
+int main() {
+  using namespace psllc;  // NOLINT
+
+  // A consolidated automotive task set, one task per core. Miss bounds
+  // would come from static cache analysis of each task binary.
+  std::vector<rt::Task> tasks(4);
+  tasks[0] = {"brake-ctrl", rt::Criticality::kHigh, /*compute=*/40'000,
+              /*misses=*/120, /*period=*/200'000};
+  tasks[1] = {"steering", rt::Criticality::kHigh, 30'000, 60, 500'000};
+  tasks[2] = {"lane-assist", rt::Criticality::kLow, 150'000, 400,
+              5'000'000};
+  tasks[3] = {"infotainment", rt::Criticality::kLow, 80'000, 900,
+              20'000'000};
+
+  core::SystemConfig config;
+  config.num_cores = 4;
+
+  std::printf("Planning LLC partitions for 4 consolidated tasks on the "
+              "paper's platform\n(32-set x 16-way LLC, 50-cycle TDM "
+              "slots)...\n\n");
+  const rt::PartitionPlan plan = rt::plan_partitions(tasks, config);
+  std::printf("%s\n", plan.describe().c_str());
+  if (!plan.feasible) {
+    std::printf("No feasible plan — relax periods or add capacity.\n");
+    return 1;
+  }
+
+  // Validate the plan empirically: run a conflict-heavy synthetic workload
+  // on the planned partitions and confirm the per-core service latencies.
+  std::printf("Validating on the simulator...\n");
+  core::System system(config, *plan.partitions);
+  sim::RandomWorkloadOptions workload;
+  workload.range_bytes = 8192;
+  workload.accesses = 8000;
+  workload.write_fraction = 0.3;
+  const auto traces = sim::make_disjoint_random_workload(4, workload, 1234);
+  for (int c = 0; c < 4; ++c) {
+    system.set_trace(CoreId{c}, traces[static_cast<std::size_t>(c)]);
+  }
+  if (!system.run(2'000'000'000).all_done) {
+    std::printf("validation run did not complete\n");
+    return 1;
+  }
+  for (int c = 0; c < 4; ++c) {
+    const auto& latency = system.tracker().service_latency(CoreId{c});
+    std::printf("  %-12s max observed service latency %5lld cycles over "
+                "%6lld LLC requests\n",
+                tasks[static_cast<std::size_t>(c)].name.c_str(),
+                static_cast<long long>(
+                    latency.count() > 0 ? latency.max() : 0),
+                static_cast<long long>(latency.count()));
+  }
+  std::printf("\nPlan validated: isolated cores keep their low bounds while "
+              "the sharers pool %d sets.\n",
+              plan.cores.back().partition.sets);
+  return 0;
+}

@@ -1,0 +1,101 @@
+// WCL calculator — evaluate the paper's analytical bounds for a
+// configuration given on the command line, the way a system integrator
+// would size partitions:
+//
+//   $ ./wcl_calculator "SS(8,4,3)" 4          # notation, cores on the bus
+//   $ ./wcl_calculator "NSS(1,16,4)" 4 50     # + slot width
+//   $ ./wcl_calculator                        # table of common configs
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/table.h"
+#include "core/system_config.h"
+#include "core/wcl_analysis.h"
+
+namespace {
+
+using namespace psllc;        // NOLINT
+using namespace psllc::core;  // NOLINT
+
+void print_for(const PartitionNotation& notation, int total_cores,
+               Cycle slot_width) {
+  std::printf("configuration : %s on %d cores, S_W = %lld cycles\n",
+              notation.to_string().c_str(), total_cores,
+              static_cast<long long>(slot_width));
+  if (!notation.is_shared()) {
+    std::printf("private partition bound: %lld cycles (%lld slots)\n",
+                static_cast<long long>(
+                    wcl_private_cycles(total_cores, slot_width)),
+                static_cast<long long>(wcl_private_slots(total_cores)));
+    return;
+  }
+  SharedPartitionScenario scenario;
+  scenario.total_cores = total_cores;
+  scenario.sharers = notation.sharers;
+  scenario.partition_sets = notation.sets;
+  scenario.partition_ways = notation.ways;
+  scenario.cua_capacity_lines = SystemConfig{}.private_caches.l2
+                                    .capacity_lines();
+  scenario.slot_width = slot_width;
+  std::printf("  m = min(m_cua=%d, M=%d) = %d lines\n",
+              scenario.cua_capacity_lines, scenario.partition_lines(),
+              scenario.m());
+  std::printf("  Theorem 4.7 (1S-TDM, no sequencer): %s cycles (%lld slots)\n",
+              format_cycles(wcl_1s_tdm_cycles(scenario)).c_str(),
+              static_cast<long long>(wcl_1s_tdm_slots(scenario)));
+  std::printf("  Theorem 4.8 (set sequencer)       : %s cycles (%lld slots)\n",
+              format_cycles(wcl_set_sequencer_cycles(scenario)).c_str(),
+              static_cast<long long>(wcl_set_sequencer_slots(scenario)));
+  std::printf("  sequencer improvement             : %.1fx\n",
+              wcl_improvement_ratio(scenario));
+}
+
+void print_default_table() {
+  Table table({"configuration", "cores", "Thm 4.7", "Thm 4.8 / P bound"});
+  const std::pair<const char*, int> configs[] = {
+      {"SS(1,2,4)", 4},  {"SS(1,4,4)", 4},  {"NSS(1,16,4)", 4},
+      {"SS(32,4,2)", 2}, {"SS(32,4,4)", 4}, {"P(8,2)", 4},
+  };
+  for (const auto& [text, cores] : configs) {
+    const auto notation = PartitionNotation::parse(text);
+    if (!notation.is_shared()) {
+      table.add_row({text, std::to_string(cores), "-",
+                     format_cycles(wcl_private_cycles(cores, 50))});
+      continue;
+    }
+    SharedPartitionScenario scenario;
+    scenario.total_cores = cores;
+    scenario.sharers = notation.sharers;
+    scenario.partition_sets = notation.sets;
+    scenario.partition_ways = notation.ways;
+    table.add_row({text, std::to_string(cores),
+                   format_cycles(wcl_1s_tdm_cycles(scenario)),
+                   format_cycles(wcl_set_sequencer_cycles(scenario))});
+  }
+  std::printf("%s", table.to_text().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 2) {
+      std::printf("usage: %s \"SS(s,w,n)|NSS(s,w,n)|P(s,w)\" [cores] "
+                  "[slot_width]\n\nCommon configurations (S_W = 50):\n",
+                  argv[0]);
+      print_default_table();
+      return 0;
+    }
+    const auto notation = core::PartitionNotation::parse(argv[1]);
+    const int cores = argc > 2 ? std::atoi(argv[2])
+                               : (notation.is_shared() ? notation.sharers : 4);
+    const Cycle slot_width = argc > 3 ? std::atoll(argv[3])
+                                      : core::kPaperSlotWidth;
+    print_for(notation, cores, slot_width);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,17 @@
+#include "common/assert.h"
+
+#include <sstream>
+
+namespace psllc::detail {
+
+void assertion_failed(const char* expr, const char* file, int line,
+                      const std::string& message) {
+  std::ostringstream oss;
+  oss << "PSLLC_ASSERT failed: (" << expr << ") at " << file << ":" << line;
+  if (!message.empty()) {
+    oss << " — " << message;
+  }
+  throw AssertionError(oss.str());
+}
+
+}  // namespace psllc::detail

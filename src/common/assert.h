@@ -1,0 +1,58 @@
+// Always-on invariant checking for the simulator.
+//
+// Simulation correctness bugs silently corrupt measured latencies, so the
+// model checks its invariants in every build type. `PSLLC_ASSERT` is for
+// internal invariants (model bugs); configuration errors raised on behalf of
+// the user throw `psllc::ConfigError` instead (see check.h usage pattern).
+#ifndef PSLLC_COMMON_ASSERT_H_
+#define PSLLC_COMMON_ASSERT_H_
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace psllc {
+
+/// Thrown when a user-supplied configuration is invalid.
+class ConfigError : public std::invalid_argument {
+ public:
+  explicit ConfigError(const std::string& what) : std::invalid_argument(what) {}
+};
+
+/// Thrown by PSLLC_ASSERT on internal invariant violation. Tests for failure
+/// injection catch this type.
+class AssertionError : public std::logic_error {
+ public:
+  explicit AssertionError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void assertion_failed(const char* expr, const char* file, int line,
+                                   const std::string& message);
+}  // namespace detail
+
+}  // namespace psllc
+
+/// Always-on assertion with streamed context:
+///   PSLLC_ASSERT(x < n, "way index " << x << " out of range " << n);
+#define PSLLC_ASSERT(cond, ...)                                          \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::ostringstream psllc_assert_oss_;                              \
+      psllc_assert_oss_ << __VA_ARGS__;                                  \
+      ::psllc::detail::assertion_failed(#cond, __FILE__, __LINE__,       \
+                                        psllc_assert_oss_.str());        \
+    }                                                                    \
+  } while (false)
+
+/// Configuration validation helper: throws ConfigError with message.
+#define PSLLC_CONFIG_CHECK(cond, ...)                    \
+  do {                                                   \
+    if (!(cond)) {                                       \
+      std::ostringstream psllc_cfg_oss_;                 \
+      psllc_cfg_oss_ << __VA_ARGS__;                     \
+      throw ::psllc::ConfigError(psllc_cfg_oss_.str());  \
+    }                                                    \
+  } while (false)
+
+#endif  // PSLLC_COMMON_ASSERT_H_

@@ -1,0 +1,136 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+namespace psllc {
+
+void Summary::add(std::int64_t sample) {
+  if (count_ == 0) {
+    min_ = max_ = sample;
+  } else {
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+  }
+  ++count_;
+  sum_ += sample;
+}
+
+void Summary::merge(const Summary& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Summary::reset() { *this = Summary{}; }
+
+std::int64_t Summary::min() const {
+  PSLLC_ASSERT(count_ > 0, "min() on empty summary");
+  return min_;
+}
+
+std::int64_t Summary::max() const {
+  PSLLC_ASSERT(count_ > 0, "max() on empty summary");
+  return max_;
+}
+
+double Summary::mean() const {
+  PSLLC_ASSERT(count_ > 0, "mean() on empty summary");
+  return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+Histogram::Histogram(std::int64_t upper, int buckets)
+    : upper_(upper), width_((upper + buckets - 1) / buckets) {
+  PSLLC_ASSERT(upper > 0, "histogram upper bound must be positive");
+  PSLLC_ASSERT(buckets > 0, "histogram needs at least one bucket");
+  counts_.assign(static_cast<std::size_t>(buckets) + 1, 0);
+}
+
+void Histogram::add(std::int64_t sample) {
+  summary_.add(sample);
+  if (sample < 0) {
+    sample = 0;
+  }
+  std::size_t idx = (sample >= upper_)
+                        ? counts_.size() - 1
+                        : static_cast<std::size_t>(sample / width_);
+  ++counts_[idx];
+}
+
+void Histogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  summary_.reset();
+}
+
+std::int64_t Histogram::bucket(int i) const {
+  PSLLC_ASSERT(i >= 0 && i < bucket_count(), "bucket index " << i);
+  return counts_[static_cast<std::size_t>(i)];
+}
+
+std::int64_t Histogram::bucket_lo(int i) const {
+  PSLLC_ASSERT(i >= 0 && i < bucket_count(), "bucket index " << i);
+  if (i == bucket_count() - 1) {
+    return upper_;
+  }
+  return width_ * i;
+}
+
+std::int64_t Histogram::bucket_hi(int i) const {
+  PSLLC_ASSERT(i >= 0 && i < bucket_count(), "bucket index " << i);
+  if (i == bucket_count() - 1) {
+    return std::numeric_limits<std::int64_t>::max();
+  }
+  return width_ * (i + 1);
+}
+
+std::int64_t Histogram::approx_quantile(double q) const {
+  PSLLC_ASSERT(q > 0.0 && q <= 1.0, "quantile must be in (0,1], got " << q);
+  const std::int64_t total = summary_.count();
+  PSLLC_ASSERT(total > 0, "quantile on empty histogram");
+  const auto target = static_cast<std::int64_t>(q * static_cast<double>(total));
+  std::int64_t seen = 0;
+  for (int i = 0; i < bucket_count(); ++i) {
+    seen += bucket(i);
+    if (seen >= target) {
+      return bucket_hi(i) == std::numeric_limits<std::int64_t>::max()
+                 ? summary_.max()
+                 : bucket_hi(i) - 1;
+    }
+  }
+  return summary_.max();
+}
+
+std::string Histogram::to_ascii(int width) const {
+  std::ostringstream oss;
+  std::int64_t peak = 1;
+  for (int i = 0; i < bucket_count(); ++i) {
+    peak = std::max(peak, bucket(i));
+  }
+  for (int i = 0; i < bucket_count(); ++i) {
+    if (bucket(i) == 0) {
+      continue;
+    }
+    const auto bar =
+        static_cast<int>(bucket(i) * width / peak);
+    oss << '[' << bucket_lo(i) << ", ";
+    if (i == bucket_count() - 1) {
+      oss << "inf";
+    } else {
+      oss << bucket_hi(i);
+    }
+    oss << ") " << std::string(static_cast<std::size_t>(std::max(bar, 1)), '#')
+        << ' ' << bucket(i) << '\n';
+  }
+  return oss.str();
+}
+
+}  // namespace psllc

@@ -1,0 +1,33 @@
+// Small string helpers for trace parsing and config notation parsing.
+#ifndef PSLLC_COMMON_STRING_UTIL_H_
+#define PSLLC_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace psllc {
+
+/// Splits on `sep`, keeping empty fields.
+[[nodiscard]] std::vector<std::string> split(std::string_view text, char sep);
+
+/// Removes leading/trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view text);
+
+/// Parses a decimal or 0x-prefixed hexadecimal unsigned integer.
+[[nodiscard]] std::optional<std::uint64_t> parse_u64(std::string_view text);
+
+/// Parses a signed decimal integer.
+[[nodiscard]] std::optional<std::int64_t> parse_i64(std::string_view text);
+
+/// Case-insensitive ASCII comparison.
+[[nodiscard]] bool iequals(std::string_view a, std::string_view b);
+
+/// True if `text` starts with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix);
+
+}  // namespace psllc
+
+#endif  // PSLLC_COMMON_STRING_UTIL_H_

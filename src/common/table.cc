@@ -1,0 +1,135 @@
+#include "common/table.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "common/assert.h"
+
+namespace psllc {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  PSLLC_ASSERT(!header_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  PSLLC_ASSERT(cells.size() == header_.size(),
+               "row has " << cells.size() << " cells, expected "
+                          << header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+const std::vector<std::string>& Table::row(int i) const {
+  PSLLC_ASSERT(i >= 0 && i < num_rows(), "row index " << i);
+  return rows_[static_cast<std::size_t>(i)];
+}
+
+std::string Table::to_text() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream oss;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c == 0) {
+        oss << std::left << std::setw(static_cast<int>(widths[c]))
+            << cells[c];
+      } else {
+        oss << "  " << std::right << std::setw(static_cast<int>(widths[c]))
+            << cells[c];
+      }
+    }
+    oss << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (auto w : widths) {
+    total += w + 2;
+  }
+  oss << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+  return oss.str();
+}
+
+namespace {
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) {
+    return cell;
+  }
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') {
+      out += "\"\"";
+    } else {
+      out += ch;
+    }
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string Table::to_csv() const {
+  std::ostringstream oss;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) {
+        oss << ',';
+      }
+      oss << csv_escape(cells[c]);
+    }
+    oss << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+  return oss.str();
+}
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open " + path + " for writing");
+  }
+  out << to_csv();
+  if (!out) {
+    throw std::runtime_error("error writing " + path);
+  }
+}
+
+std::string format_double(double v, int digits) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(digits) << v;
+  return oss.str();
+}
+
+std::string format_cycles(std::int64_t cycles) {
+  const bool negative = cycles < 0;
+  std::string digits = std::to_string(negative ? -cycles : cycles);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) {
+      out.push_back(',');
+    }
+    out.push_back(*it);
+    ++count;
+  }
+  if (negative) {
+    out.push_back('-');
+  }
+  return {out.rbegin(), out.rend()};
+}
+
+}  // namespace psllc

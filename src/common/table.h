@@ -1,0 +1,52 @@
+// Aligned-text and CSV table rendering used by the benchmark harnesses to
+// print the same rows/series the paper's figures report.
+#ifndef PSLLC_COMMON_TABLE_H_
+#define PSLLC_COMMON_TABLE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace psllc {
+
+/// A simple column-oriented table: set a header, append rows of cells, then
+/// render as aligned text (stdout) or CSV (machine-readable artifacts).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] int num_rows() const { return static_cast<int>(rows_.size()); }
+  [[nodiscard]] int num_cols() const {
+    return static_cast<int>(header_.size());
+  }
+  [[nodiscard]] const std::vector<std::string>& header() const {
+    return header_;
+  }
+  [[nodiscard]] const std::vector<std::string>& row(int i) const;
+
+  /// Renders with space padding; columns right-aligned except the first.
+  [[nodiscard]] std::string to_text() const;
+  /// RFC-4180-ish CSV (cells containing comma/quote/newline are quoted).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Writes CSV to `path`; throws std::runtime_error on I/O failure.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant decimals (fixed notation).
+[[nodiscard]] std::string format_double(double v, int digits = 2);
+
+/// Formats cycles with thousands separators for readability, e.g. 979,250.
+[[nodiscard]] std::string format_cycles(std::int64_t cycles);
+
+}  // namespace psllc
+
+#endif  // PSLLC_COMMON_TABLE_H_

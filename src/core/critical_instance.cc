@@ -1,0 +1,143 @@
+#include "core/critical_instance.h"
+
+#include "common/assert.h"
+
+namespace psllc::core {
+
+namespace {
+
+/// Byte address of line-granular address `line` for the default 64 B lines.
+Addr addr_of_line(LineAddr line) { return line * 64; }
+
+SystemConfig scenario_base_config() {
+  SystemConfig config;
+  config.num_cores = 4;
+  config.slot_width = kPaperSlotWidth;
+  config.keep_request_records = true;
+  return config;
+}
+
+}  // namespace
+
+UnboundedScenario make_unbounded_scenario(llc::ContentionMode mode,
+                                          bool one_slot_tdm,
+                                          int interferer_accesses) {
+  PSLLC_CONFIG_CHECK(interferer_accesses > 2, "need a miss stream");
+  SystemConfig config = scenario_base_config();
+  config.num_cores = 2;
+  config.mode = mode;
+  if (!one_slot_tdm) {
+    // The paper's Figure 2 schedule: one slot for cua, two for ci.
+    config.schedule_slots = {CoreId{0}, CoreId{1}, CoreId{1}};
+  }
+  // Both cores share a single-set, two-way partition: every access
+  // conflicts.
+  llc::PartitionMap partitions = llc::make_shared_partition(
+      config.llc.geometry, {CoreId{0}, CoreId{1}}, /*num_sets=*/1,
+      /*num_ways=*/2);
+
+  UnboundedScenario scenario;
+  scenario.system = std::make_unique<System>(config, std::move(partitions));
+
+  // cua: one request to X, delayed so the interferer has filled both
+  // partition ways first (the figure's precondition: set_LLC(X) is full
+  // with ci's lines). The interferer streams distinct lines, all mapping to
+  // the single partition set, so each access misses everywhere, evicts (the
+  // victims are its own recent lines), and re-occupies freed entries within
+  // its extra slot.
+  const LineAddr x = 0x100000;
+  scenario.system->set_trace(scenario.cua,
+                             Trace{MemOp{addr_of_line(x), AccessType::kRead,
+                                         /*gap=*/289}});
+  Trace interferer_trace;
+  interferer_trace.reserve(static_cast<std::size_t>(interferer_accesses));
+  for (int i = 0; i < interferer_accesses; ++i) {
+    interferer_trace.push_back(
+        MemOp{addr_of_line(0x200000 + static_cast<LineAddr>(i))});
+  }
+  scenario.system->set_trace(scenario.interferer, std::move(interferer_trace));
+  return scenario;
+}
+
+Fig3Scenario make_fig3_scenario() {
+  SystemConfig config = scenario_base_config();
+  config.mode = llc::ContentionMode::kBestEffort;  // the analysis setting
+  llc::PartitionMap partitions = llc::make_shared_partition(
+      config.llc.geometry,
+      {CoreId{0}, CoreId{1}, CoreId{2}, CoreId{3}},
+      /*num_sets=*/1, /*num_ways=*/2);
+
+  Fig3Scenario scenario;
+  scenario.system = std::make_unique<System>(config, std::move(partitions));
+  scenario.l1 = 0x10;
+  scenario.l2 = 0x11;
+  scenario.x = 0x12;
+  scenario.y = 0x13;
+  scenario.z = 0x14;
+
+  // Initial state (figure): both ways of set_LLC(X) privately cached by c3;
+  // preload order makes l1 the LRU victim.
+  scenario.system->preload_owned_line(scenario.c3, scenario.l1);
+  scenario.system->preload_owned_line(scenario.c3, scenario.l2);
+
+  // cua's request issues at cycle 11 (L1+L2 tag checks) and is first
+  // presented in its second slot — the figure's s_t is sim slot 4. c4's
+  // Req Y is delayed (gap) so it reaches the bus in its slot of the same
+  // period, *after* c3's freeing write-back, exactly as in the figure.
+  scenario.system->set_trace(scenario.cua,
+                             Trace{MemOp{addr_of_line(scenario.x)}});
+  scenario.system->set_trace(
+      scenario.c4, Trace{MemOp{addr_of_line(scenario.y), AccessType::kRead,
+                               /*gap=*/289},
+                         MemOp{addr_of_line(scenario.z)}});
+  scenario.lead_in_slots = 4;
+  // 13 slots of service latency: presented at slot 4, response at the end
+  // of slot 16.
+  scenario.expected_completion = 13 * config.slot_width;
+  return scenario;
+}
+
+Fig4Scenario make_fig4_scenario() {
+  SystemConfig config = scenario_base_config();
+  config.mode = llc::ContentionMode::kBestEffort;
+  llc::PartitionMap partitions = llc::make_shared_partition(
+      config.llc.geometry,
+      {CoreId{0}, CoreId{1}, CoreId{2}, CoreId{3}},
+      /*num_sets=*/2, /*num_ways=*/2);
+
+  Fig4Scenario scenario;
+  scenario.system = std::make_unique<System>(config, std::move(partitions));
+  // Even lines map to partition set 0, odd to set 1.
+  scenario.l1 = 0x20;  // set 0, owned by c4 (LRU victim)
+  scenario.l2 = 0x22;  // set 0, owned by c4
+  scenario.x = 0x24;   // set 0, requested by cua
+  scenario.y = 0x26;   // set 0, requested by c2
+  scenario.l = 0x21;   // set 1, owned by cua (LRU victim)
+  scenario.m = 0x23;   // set 1, owned by c2 (fills the set)
+  scenario.a = 0x25;   // set 1, requested by c3
+
+  scenario.system->preload_owned_line(scenario.c4, scenario.l1);
+  scenario.system->preload_owned_line(scenario.c4, scenario.l2);
+  scenario.system->preload_owned_line(scenario.cua, scenario.l);
+  scenario.system->preload_owned_line(scenario.c2, scenario.m);
+
+  // Arrival order on the bus must match the figure: cua first (its slot 4),
+  // then c2 (slot 5), then c3 (slot 6); the gaps delay c2/c3 past their
+  // period-0 slots.
+  scenario.system->set_trace(scenario.cua,
+                             Trace{MemOp{addr_of_line(scenario.x)}});
+  scenario.system->set_trace(
+      scenario.c2, Trace{MemOp{addr_of_line(scenario.y), AccessType::kRead,
+                               /*gap=*/150}});
+  scenario.system->set_trace(
+      scenario.c3, Trace{MemOp{addr_of_line(scenario.a), AccessType::kRead,
+                               /*gap=*/200}});
+  scenario.lead_in_slots = 4;
+  // Presented at slot 4; cua's second slot (sim slot 8) is consumed by the
+  // forced write-back of l; response at the end of sim slot 12 — 9 slots of
+  // service latency.
+  scenario.expected_completion = 9 * config.slot_width;
+  return scenario;
+}
+
+}  // namespace psllc::core

@@ -1,0 +1,68 @@
+// Constructors for the paper's adversarial scenarios, replayed exactly by
+// integration tests and the unbounded-WCL bench:
+//
+//  * Figure 2 (Section 4.1): with a multi-slot TDM schedule ({cua, ci, ci})
+//    and best-effort sharing, ci frees and re-occupies the conflicting
+//    set's entry every period — cua's request never completes.
+//  * Figure 3 (Section 4.3): 4 cores, 2-way shared set initially owned by
+//    c3; cua's request completes in its 4th slot after the distance of both
+//    ways decays (Observations 1/2).
+//  * Figure 4 (Section 4.3): cua is forced to write back (c3's request
+//    evicts cua's line) and c2 occupies the entry freed by c4 — the
+//    distance increases (Observation 3).
+#ifndef PSLLC_CORE_CRITICAL_INSTANCE_H_
+#define PSLLC_CORE_CRITICAL_INSTANCE_H_
+
+#include <memory>
+
+#include "core/system.h"
+
+namespace psllc::core {
+
+/// Figure 2. `one_slot_tdm` false reproduces the unbounded scenario
+/// ({cua, ci, ci}); true shows 1S-TDM bounds it. `mode` kBestEffort is the
+/// paper's scenario; kSetSequencer shows FIFO ordering also prevents it.
+struct UnboundedScenario {
+  std::unique_ptr<System> system;
+  CoreId cua{0};
+  CoreId interferer{1};
+};
+UnboundedScenario make_unbounded_scenario(llc::ContentionMode mode,
+                                          bool one_slot_tdm,
+                                          int interferer_accesses = 4096);
+
+/// Figure 3. Expected: cua's Req X completes at the end of its 4th
+/// presented slot (13 slots = 650 cycles of service latency at the paper's
+/// 50-cycle slots); intermediate LLC ownership states match the figure.
+/// The figure's slot s_t is sim slot `lead_in_slots` (requests issue a few
+/// cycles into slot 0 and are first presented one period later).
+struct Fig3Scenario {
+  std::unique_ptr<System> system;
+  CoreId cua{0};
+  CoreId c3{2};
+  CoreId c4{3};
+  LineAddr x = 0, y = 0, z = 0, l1 = 0, l2 = 0;
+  Cycle expected_completion = 0;  ///< expected service latency (cycles)
+  int lead_in_slots = 0;
+};
+Fig3Scenario make_fig3_scenario();
+
+/// Figure 4. Expected: cua spends its second slot writing back `l` (evicted
+/// by c3's request to A), c2 occupies the entry freed by c4's WB of l1
+/// (distance increases 1 -> 3), and Req X completes at the end of cua's
+/// third slot (450 cycles).
+struct Fig4Scenario {
+  std::unique_ptr<System> system;
+  CoreId cua{0};
+  CoreId c2{1};
+  CoreId c3{2};
+  CoreId c4{3};
+  LineAddr x = 0, y = 0, a = 0, l1 = 0, l2 = 0, l = 0, m = 0;
+  Cycle expected_completion = 0;  ///< expected service latency (cycles)
+  int lead_in_slots = 0;
+};
+Fig4Scenario make_fig4_scenario();
+
+}  // namespace psllc::core
+
+#endif  // PSLLC_CORE_CRITICAL_INSTANCE_H_

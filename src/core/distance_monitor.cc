@@ -1,0 +1,101 @@
+#include "core/distance_monitor.h"
+
+#include "common/assert.h"
+
+namespace psllc::core {
+
+DistanceMonitor::DistanceMonitor(const System& system, CoreId cua)
+    : system_(&system), cua_(cua) {
+  PSLLC_ASSERT(cua.valid() && cua.value < system.config().num_cores,
+               "bad cua " << cua.value);
+}
+
+std::vector<int> DistanceMonitor::snapshot() const {
+  const llc::PartitionedLlc& llc = system_->llc();
+  PSLLC_ASSERT(llc.has_pending_request(cua_), "snapshot without pending");
+  const LineAddr line = llc.pending_line(cua_);
+  const llc::SetKey key = llc.key_for(cua_, line);
+  const llc::PartitionSpec& spec = llc.partitions().spec(key.partition);
+  const std::vector<CoreId>& sharers = llc.partitions().sharers(key.partition);
+
+  std::vector<int> distances;
+  distances.reserve(static_cast<std::size_t>(spec.num_ways));
+  for (int w = spec.first_way; w < spec.first_way + spec.num_ways; ++w) {
+    const llc::PartitionedLlc::EntryView entry =
+        llc.entry(key.physical_set, w);
+    const std::size_t index = static_cast<std::size_t>(w - spec.first_way);
+    int distance = 0;
+    if (entry.valid) {
+      // Owned line: distance of the core(s) privately caching it
+      // (Definition 4.2, restricted to the partition sharers). A valid but
+      // unowned line (voluntarily abandoned) counts as 0 — outside the
+      // observations' model, any successor is legal.
+      for (CoreId owner : entry.sharers) {
+        distance = std::max(
+            distance,
+            system_->schedule().sharer_distance(owner, cua_, sharers));
+      }
+    } else if (previous_ && index < previous_->size()) {
+      // Freed entry (back-invalidation completed): retain the evicted
+      // owner's distance — the paper compares the occupant before the free
+      // with the occupant after (Figure 4: l1 goes c4 -> freed -> c2, a
+      // 1 -> 3 increase).
+      distance = (*previous_)[index];
+    }
+    distances.push_back(distance);
+  }
+  return distances;
+}
+
+void DistanceMonitor::on_slot(const SlotEvent& event) {
+  const bool cua_slot = event.owner == cua_;
+  if (cua_slot && event.action == SlotEvent::Action::kWriteBack) {
+    // Lemma 4.6 window opens: cua spent its slot writing back, so a core
+    // with a larger distance may claim a free entry before cua's next slot.
+    write_back_window_ = true;
+  }
+
+  const llc::PartitionedLlc& llc = system_->llc();
+  if (!llc.has_pending_request(cua_)) {
+    previous_.reset();
+    write_back_window_ = false;
+    return;
+  }
+  const LineAddr line = llc.pending_line(cua_);
+  if (previous_ && line != observed_line_) {
+    previous_.reset();  // new request, new window
+    write_back_window_ = false;
+  }
+  observed_line_ = line;
+
+  const std::vector<int> current = snapshot();
+  if (previous_) {
+    if (!write_back_window_) {
+      ++windows_checked_;
+    }
+    for (std::size_t w = 0; w < current.size(); ++w) {
+      const int before = (*previous_)[w];
+      const int after = current[w];
+      if (after > before && before > 0) {
+        if (write_back_window_) {
+          ++increases_after_writeback_;  // Observation 3 witness
+        } else {
+          const llc::SetKey key = llc.key_for(cua_, line);
+          const llc::PartitionSpec& spec =
+              llc.partitions().spec(key.partition);
+          violations_.push_back(
+              Violation{event.slot_start, key.physical_set,
+                        spec.first_way + static_cast<int>(w), before, after});
+        }
+      }
+    }
+  }
+  previous_ = current;
+  // The write-back window extends until cua's next *request* slot: any
+  // steal enabled by the write-back happens before cua can present again.
+  if (cua_slot && event.action == SlotEvent::Action::kRequest) {
+    write_back_window_ = false;
+  }
+}
+
+}  // namespace psllc::core

@@ -1,0 +1,79 @@
+// Runtime checker for the paper's key observations (Section 4.3):
+//
+//  * Observation 1 / Lemma 4.4: while the core under analysis (cua) has a
+//    pending request and performs no write-backs, the distance of the cores
+//    caching the lines of the requested set never increases.
+//  * Observation 3 / Lemma 4.6: after cua performs a write-back, distances
+//    may increase (the monitor counts such witnessed increases instead of
+//    flagging them).
+//
+// Distance of an LLC way = schedule distance (Definition 4.2, restricted to
+// the partition's sharers) from the core privately caching the occupant to
+// cua; ways that are free or whose occupant has no private copies count as
+// distance 0 — an increase *from zero* is always legal (a fresh occupant
+// may be anywhere in the schedule).
+//
+// Intended for data-disjoint workloads (as in the paper's evaluation): with
+// read-sharing, a second sharer appearing on a line can raise the max
+// distance without any eviction, which the observations do not model.
+#ifndef PSLLC_CORE_DISTANCE_MONITOR_H_
+#define PSLLC_CORE_DISTANCE_MONITOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/system.h"
+
+namespace psllc::core {
+
+class DistanceMonitor {
+ public:
+  struct Violation {
+    Cycle slot_start = 0;
+    int physical_set = -1;
+    int way = -1;
+    int distance_before = 0;
+    int distance_after = 0;
+  };
+
+  /// Observes `cua`'s pending requests inside `system`. The system must
+  /// outlive the monitor; attach with:
+  ///   system.add_slot_observer([&m](const SlotEvent& e) { m.on_slot(e); });
+  DistanceMonitor(const System& system, CoreId cua);
+
+  void on_slot(const SlotEvent& event);
+
+  [[nodiscard]] const std::vector<Violation>& violations() const {
+    return violations_;
+  }
+  /// Number of cua-slot pairs compared under the no-write-back premise.
+  [[nodiscard]] std::int64_t windows_checked() const {
+    return windows_checked_;
+  }
+  /// Observation 3 witnesses: distance increases seen right after a cua
+  /// write-back.
+  [[nodiscard]] std::int64_t increases_after_writeback() const {
+    return increases_after_writeback_;
+  }
+
+ private:
+  /// Distances of all partition ways of cua's pending set. Freed entries
+  /// retain the previous owner's distance (the paper compares occupants
+  /// across the free); valid-but-unowned lines count 0.
+  [[nodiscard]] std::vector<int> snapshot() const;
+
+  const System* system_;
+  CoreId cua_;
+  std::optional<std::vector<int>> previous_;
+  LineAddr observed_line_ = 0;
+  bool write_back_window_ = false;
+  std::vector<Violation> violations_;
+  std::int64_t windows_checked_ = 0;
+  std::int64_t increases_after_writeback_ = 0;
+};
+
+}  // namespace psllc::core
+
+#endif  // PSLLC_CORE_DISTANCE_MONITOR_H_

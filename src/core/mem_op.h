@@ -1,0 +1,23 @@
+// A single memory operation of a core's trace.
+#ifndef PSLLC_CORE_MEM_OP_H_
+#define PSLLC_CORE_MEM_OP_H_
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace psllc::core {
+
+/// One trace entry: an access to `addr`, issued `gap` cycles after the
+/// previous access completed (compute/think time).
+struct MemOp {
+  Addr addr = 0;
+  AccessType type = AccessType::kRead;
+  Cycle gap = 0;
+};
+
+using Trace = std::vector<MemOp>;
+
+}  // namespace psllc::core
+
+#endif  // PSLLC_CORE_MEM_OP_H_

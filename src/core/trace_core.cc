@@ -1,0 +1,99 @@
+#include "core/trace_core.h"
+
+#include <utility>
+
+#include "common/assert.h"
+
+namespace psllc::core {
+
+TraceCore::TraceCore(CoreId id, const mem::PrivateCacheConfig& caches,
+                     int pwb_capacity, RequestTracker& tracker,
+                     std::uint64_t seed)
+    : id_(id), caches_(caches, seed), buffers_(pwb_capacity),
+      tracker_(&tracker) {
+  PSLLC_ASSERT(id.valid(), "core needs a valid id");
+}
+
+void TraceCore::set_trace(Trace trace) {
+  PSLLC_ASSERT(!blocked_, "cannot swap trace while a request is outstanding");
+  trace_ = std::move(trace);
+  pc_ = 0;
+  gap_applied_ = false;
+}
+
+void TraceCore::run_until(Cycle limit) {
+  while (!blocked_ && pc_ < trace_.size()) {
+    const MemOp& op = trace_[pc_];
+    if (!gap_applied_) {
+      next_ready_ += op.gap;
+      gap_applied_ = true;
+    }
+    if (next_ready_ >= limit) {
+      return;  // nothing more can start before the slot boundary
+    }
+    const mem::HitLevel level = caches_.access(op.addr, op.type);
+    switch (level) {
+      case mem::HitLevel::kL1:
+        next_ready_ += caches_.config().l1_hit_latency;
+        break;
+      case mem::HitLevel::kL2:
+        next_ready_ += caches_.config().l1_hit_latency +
+                       caches_.config().l2_hit_latency;
+        break;
+      case mem::HitLevel::kMiss: {
+        // Miss detection walks L1 then L2 tags, then enqueues the request.
+        const Cycle issue = next_ready_ + caches_.config().l1_hit_latency +
+                            caches_.config().l2_hit_latency;
+        const LineAddr line = caches_.config().l2.line_of(op.addr);
+        const std::uint64_t id =
+            tracker_->begin(id_, line, op.type, issue);
+        bus::BusMessage msg;
+        msg.kind = bus::MessageKind::kRequest;
+        msg.source = id_;
+        msg.line = line;
+        msg.access = op.type;
+        msg.request_id = id;
+        msg.enqueued_at = issue;
+        buffers_.set_request(msg);
+        outstanding_ = Outstanding{op.addr, op.type, id};
+        blocked_ = true;
+        return;
+      }
+    }
+    ++pc_;
+    gap_applied_ = false;
+    if (pc_ == trace_.size()) {
+      finish_time_ = next_ready_;
+    }
+  }
+}
+
+std::optional<mem::Evicted> TraceCore::on_response(Cycle completion,
+                                                   bool recovered_dirty) {
+  PSLLC_ASSERT(blocked_ && outstanding_.has_value(),
+               to_string(id_) << " got a response without a request");
+  const Outstanding out = *outstanding_;
+  std::optional<mem::Evicted> victim =
+      caches_.fill(out.addr, out.type, is_write(out.type) || recovered_dirty);
+  outstanding_.reset();
+  blocked_ = false;
+  buffers_.clear_request();
+  next_ready_ = completion;
+  ++pc_;
+  gap_applied_ = false;
+  if (pc_ == trace_.size()) {
+    finish_time_ = next_ready_;
+  }
+  return victim;
+}
+
+mem::ForcedEviction TraceCore::force_evict(LineAddr line) {
+  return caches_.force_evict(line);
+}
+
+std::uint64_t TraceCore::outstanding_request_id() const {
+  PSLLC_ASSERT(outstanding_.has_value(), "no outstanding request");
+  return outstanding_->tracker_id;
+}
+
+}  // namespace psllc::core

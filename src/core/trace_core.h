@@ -1,0 +1,90 @@
+// One trace-driven core: in-order, blocking, at most one outstanding LLC
+// request (paper Section 3). The core owns its private cache hierarchy and
+// its PRB/PWB buffers; the System drives it slot by slot.
+#ifndef PSLLC_CORE_TRACE_CORE_H_
+#define PSLLC_CORE_TRACE_CORE_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "bus/pending_buffers.h"
+#include "core/mem_op.h"
+#include "core/request_tracker.h"
+#include "mem/private_cache.h"
+
+namespace psllc::core {
+
+class TraceCore {
+ public:
+  TraceCore(CoreId id, const mem::PrivateCacheConfig& caches,
+            int pwb_capacity, RequestTracker& tracker, std::uint64_t seed);
+
+  [[nodiscard]] CoreId id() const { return id_; }
+
+  /// Replaces the trace; resets the program counter. Must not be called
+  /// while a request is outstanding.
+  void set_trace(Trace trace);
+
+  /// All trace entries completed (bus queues may still drain).
+  [[nodiscard]] bool trace_done() const {
+    return !blocked_ && pc_ >= trace_.size();
+  }
+
+  /// Cycle at which the last trace entry completed (valid once trace_done).
+  [[nodiscard]] Cycle finish_time() const { return finish_time_; }
+
+  /// Executes local work (L1/L2 hits) up to — but not into — `limit`.
+  /// Stops early when an L2 miss enqueues a bus request (core blocks).
+  void run_until(Cycle limit);
+
+  /// The LLC response for the outstanding request arrived; `completion` is
+  /// the end of the serving slot. Installs the line (`recovered_dirty`
+  /// folds the dirtiness of a cancelled in-flight write-back back into the
+  /// private copy); returns the L2 capacity victim (if any) whose
+  /// write-back / directory notification the caller owns. Unblocks the core.
+  std::optional<mem::Evicted> on_response(Cycle completion,
+                                          bool recovered_dirty = false);
+
+  /// Back-invalidation from the LLC. Returns presence/dirtiness of the
+  /// (now removed) private copy.
+  mem::ForcedEviction force_evict(LineAddr line);
+
+  /// Scenario setup: place `line` in this core's L2 (see
+  /// PrivateCacheHierarchy::preload).
+  void preload(LineAddr line, bool dirty) { caches_.preload(line, dirty); }
+
+  [[nodiscard]] bus::PendingBuffers& buffers() { return buffers_; }
+  [[nodiscard]] const bus::PendingBuffers& buffers() const { return buffers_; }
+  [[nodiscard]] const mem::PrivateCacheHierarchy& caches() const {
+    return caches_;
+  }
+  [[nodiscard]] bool blocked() const { return blocked_; }
+  /// The outstanding request's tracker id (valid while blocked).
+  [[nodiscard]] std::uint64_t outstanding_request_id() const;
+
+  /// Progress introspection.
+  [[nodiscard]] std::size_t ops_completed() const { return pc_; }
+  [[nodiscard]] std::size_t trace_size() const { return trace_.size(); }
+
+ private:
+  CoreId id_;
+  mem::PrivateCacheHierarchy caches_;
+  bus::PendingBuffers buffers_;
+  RequestTracker* tracker_;
+  Trace trace_;
+  std::size_t pc_ = 0;
+  Cycle next_ready_ = 0;
+  bool gap_applied_ = false;
+  bool blocked_ = false;
+  Cycle finish_time_ = 0;
+  struct Outstanding {
+    Addr addr = 0;
+    AccessType type = AccessType::kRead;
+    std::uint64_t tracker_id = 0;
+  };
+  std::optional<Outstanding> outstanding_;
+};
+
+}  // namespace psllc::core
+
+#endif  // PSLLC_CORE_TRACE_CORE_H_

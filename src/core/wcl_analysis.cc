@@ -1,0 +1,130 @@
+#include "core/wcl_analysis.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace psllc::core {
+
+void SharedPartitionScenario::validate() const {
+  PSLLC_CONFIG_CHECK(total_cores >= 1, "need >=1 core");
+  PSLLC_CONFIG_CHECK(sharers >= 2 && sharers <= total_cores,
+                     "shared-partition analysis needs 2 <= n <= N, got n="
+                         << sharers << " N=" << total_cores);
+  PSLLC_CONFIG_CHECK(partition_sets >= 1 && partition_ways >= 1,
+                     "partition must have >=1 set and way");
+  PSLLC_CONFIG_CHECK(cua_capacity_lines >= 1,
+                     "cua must be able to cache >=1 line");
+  PSLLC_CONFIG_CHECK(slot_width > 0, "slot width must be positive");
+}
+
+std::int64_t wcl_1s_tdm_slots(const SharedPartitionScenario& scenario) {
+  scenario.validate();
+  const std::int64_t n = scenario.sharers;
+  const std::int64_t w = scenario.partition_ways;
+  const std::int64_t big_n = scenario.total_cores;
+  const std::int64_t m = scenario.m();
+  // A = 2(n-1) * w * (n-1): periods for the distance of all w lines to
+  // decay from n to 1, each unit decrement taking 2(n-1) periods
+  // (Corollary 4.5).
+  const std::int64_t a = 2 * (n - 1) * w * (n - 1);
+  return (m + 1) * a * big_n + 1;
+}
+
+Cycle wcl_1s_tdm_cycles(const SharedPartitionScenario& scenario) {
+  return wcl_1s_tdm_slots(scenario) * scenario.slot_width;
+}
+
+std::int64_t wcl_set_sequencer_slots(const SharedPartitionScenario& scenario) {
+  scenario.validate();
+  const std::int64_t n = scenario.sharers;
+  const std::int64_t big_n = scenario.total_cores;
+  // Each of the n queued requests (cua last) waits at most 2(n-1) periods
+  // for the owning core to drain its write-backs; one final period delivers
+  // the response (Theorem 4.8).
+  return (2 * (n - 1) * n + 1) * big_n;
+}
+
+Cycle wcl_set_sequencer_cycles(const SharedPartitionScenario& scenario) {
+  return wcl_set_sequencer_slots(scenario) * scenario.slot_width;
+}
+
+std::int64_t wcl_private_slots(int total_cores) {
+  PSLLC_CONFIG_CHECK(total_cores >= 1, "need >=1 core");
+  // Request slot (triggers the self-eviction), one period to drain the
+  // forced write-back, one period to re-present; response completes one
+  // slot into the final presentation.
+  return 2 * static_cast<std::int64_t>(total_cores) + 1;
+}
+
+Cycle wcl_private_cycles(int total_cores, Cycle slot_width) {
+  PSLLC_CONFIG_CHECK(slot_width > 0, "slot width must be positive");
+  return wcl_private_slots(total_cores) * slot_width;
+}
+
+Cycle wcl_private_cycles(const bus::TdmSchedule& schedule, CoreId core) {
+  PSLLC_CONFIG_CHECK(core.valid() && core.value < schedule.num_cores(),
+                     "core " << core.value << " not in schedule");
+  // For every owned slot s: the forced write-back occupies the next owned
+  // slot and the retry the one after; the response lands one slot into the
+  // retry slot. Take the worst span over a full period of start positions.
+  std::int64_t worst_slots = 0;
+  const int period = schedule.slots_per_period();
+  for (std::int64_t s = 0; s < period; ++s) {
+    if (schedule.owner_of_slot(s) != core) {
+      continue;
+    }
+    const std::int64_t wb_slot = schedule.next_slot_of(core, s + 1);
+    const std::int64_t retry_slot = schedule.next_slot_of(core, wb_slot + 1);
+    worst_slots = std::max(worst_slots, retry_slot - s + 1);
+  }
+  PSLLC_ASSERT(worst_slots > 0, "core owns no slot");
+  return worst_slots * schedule.slot_width();
+}
+
+double wcl_improvement_ratio(const SharedPartitionScenario& scenario) {
+  return static_cast<double>(wcl_1s_tdm_slots(scenario)) /
+         static_cast<double>(wcl_set_sequencer_slots(scenario));
+}
+
+Boundedness classify_wcl(const bus::TdmSchedule& schedule,
+                         bool partition_shared, llc::ContentionMode mode) {
+  if (!partition_shared) {
+    return Boundedness::kBounded;
+  }
+  if (schedule.is_one_slot_tdm()) {
+    return Boundedness::kBounded;  // Theorem 4.7 / 4.8
+  }
+  // Multi-slot schedule with best-effort sharing: the Section 4.1 scenario
+  // applies — a core with several slots per period can free and re-occupy
+  // an entry before cua's next slot, forever.
+  return mode == llc::ContentionMode::kBestEffort ? Boundedness::kUnbounded
+                                                  : Boundedness::kBounded;
+}
+
+Cycle analytical_wcl_cycles(const ExperimentSetup& setup, CoreId cua) {
+  const SystemConfig& config = setup.config;
+  const int pid = setup.partitions.partition_of(cua);
+  PSLLC_CONFIG_CHECK(pid >= 0, "cua has no partition");
+  const llc::PartitionSpec& spec = setup.partitions.spec(pid);
+  const int sharers = setup.partitions.sharer_count_of(cua);
+  if (sharers == 1) {
+    return wcl_private_cycles(config.num_cores, config.slot_width);
+  }
+  SharedPartitionScenario scenario;
+  scenario.total_cores = config.num_cores;
+  scenario.sharers = sharers;
+  scenario.partition_sets = spec.num_sets;
+  scenario.partition_ways = spec.num_ways;
+  scenario.cua_capacity_lines = config.private_caches.l2.capacity_lines();
+  scenario.slot_width = config.slot_width;
+  const Boundedness bounded = classify_wcl(
+      config.make_schedule(), /*partition_shared=*/true, config.mode);
+  PSLLC_CONFIG_CHECK(bounded == Boundedness::kBounded,
+                     "WCL is unbounded for this configuration (Section 4.1)");
+  return config.mode == llc::ContentionMode::kSetSequencer
+             ? wcl_set_sequencer_cycles(scenario)
+             : wcl_1s_tdm_cycles(scenario);
+}
+
+}  // namespace psllc::core

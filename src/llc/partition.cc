@@ -1,0 +1,137 @@
+#include "llc/partition.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/assert.h"
+
+namespace psllc::llc {
+
+bool PartitionSpec::overlaps(const PartitionSpec& other) const {
+  const bool sets_overlap = first_set < other.first_set + other.num_sets &&
+                            other.first_set < first_set + num_sets;
+  const bool ways_overlap = first_way < other.first_way + other.num_ways &&
+                            other.first_way < first_way + num_ways;
+  return sets_overlap && ways_overlap;
+}
+
+void PartitionSpec::validate(const mem::CacheGeometry& geometry) const {
+  PSLLC_CONFIG_CHECK(num_sets > 0 && num_ways > 0,
+                     "partition must have >=1 set and way: " << to_string());
+  PSLLC_CONFIG_CHECK(first_set >= 0 &&
+                         first_set + num_sets <= geometry.num_sets,
+                     "partition sets out of range: " << to_string()
+                         << " in LLC " << geometry.to_string());
+  PSLLC_CONFIG_CHECK(first_way >= 0 &&
+                         first_way + num_ways <= geometry.num_ways,
+                     "partition ways out of range: " << to_string()
+                         << " in LLC " << geometry.to_string());
+}
+
+std::string PartitionSpec::to_string() const {
+  std::ostringstream oss;
+  oss << "[sets " << first_set << ".." << first_set + num_sets - 1
+      << ", ways " << first_way << ".." << first_way + num_ways - 1 << "]";
+  return oss.str();
+}
+
+PartitionMap::PartitionMap(const mem::CacheGeometry& geometry)
+    : geometry_(geometry) {
+  geometry_.validate();
+}
+
+int PartitionMap::add_partition(const PartitionSpec& spec,
+                                std::vector<CoreId> sharers) {
+  spec.validate(geometry_);
+  PSLLC_CONFIG_CHECK(!sharers.empty(), "partition needs >=1 sharer");
+  for (const auto& existing : specs_) {
+    PSLLC_CONFIG_CHECK(!spec.overlaps(existing),
+                       "partition " << spec.to_string() << " overlaps "
+                                    << existing.to_string());
+  }
+  // No duplicate sharers, and no core in two partitions.
+  for (std::size_t i = 0; i < sharers.size(); ++i) {
+    PSLLC_CONFIG_CHECK(sharers[i].valid(), "invalid sharer core id");
+    for (std::size_t j = i + 1; j < sharers.size(); ++j) {
+      PSLLC_CONFIG_CHECK(sharers[i] != sharers[j],
+                         "duplicate sharer " << to_string(sharers[i]));
+    }
+    PSLLC_CONFIG_CHECK(partition_of(sharers[i]) < 0,
+                       "core " << to_string(sharers[i])
+                               << " already owns a partition");
+  }
+  const int id = num_partitions();
+  for (CoreId c : sharers) {
+    if (c.value >= static_cast<int>(core_to_partition_.size())) {
+      core_to_partition_.resize(static_cast<std::size_t>(c.value) + 1, -1);
+    }
+    core_to_partition_[static_cast<std::size_t>(c.value)] = id;
+  }
+  specs_.push_back(spec);
+  sharers_.push_back(std::move(sharers));
+  return id;
+}
+
+const PartitionSpec& PartitionMap::spec(int id) const {
+  PSLLC_ASSERT(id >= 0 && id < num_partitions(), "partition id " << id);
+  return specs_[static_cast<std::size_t>(id)];
+}
+
+const std::vector<CoreId>& PartitionMap::sharers(int id) const {
+  PSLLC_ASSERT(id >= 0 && id < num_partitions(), "partition id " << id);
+  return sharers_[static_cast<std::size_t>(id)];
+}
+
+int PartitionMap::partition_of(CoreId core) const {
+  if (!core.valid() ||
+      core.value >= static_cast<int>(core_to_partition_.size())) {
+    return -1;
+  }
+  return core_to_partition_[static_cast<std::size_t>(core.value)];
+}
+
+int PartitionMap::sharer_count_of(CoreId core) const {
+  const int id = partition_of(core);
+  PSLLC_ASSERT(id >= 0, "core " << to_string(core) << " has no partition");
+  return static_cast<int>(sharers_[static_cast<std::size_t>(id)].size());
+}
+
+void PartitionMap::validate_covers_cores(int num_cores) const {
+  for (int c = 0; c < num_cores; ++c) {
+    PSLLC_CONFIG_CHECK(partition_of(CoreId{c}) >= 0,
+                       "core c" << c << " has no LLC partition");
+  }
+}
+
+PartitionMap make_private_partitions(const mem::CacheGeometry& geometry,
+                                     int num_cores, int sets_per_core,
+                                     int ways_per_core) {
+  PSLLC_CONFIG_CHECK(num_cores > 0, "need >=1 core");
+  PartitionMap map(geometry);
+  // Tile rectangles set-major: fill the set dimension first, then move to
+  // the next way band. P(1, w) partitions for several cores thus occupy
+  // distinct sets where possible.
+  int set_base = 0;
+  int way_base = 0;
+  for (int c = 0; c < num_cores; ++c) {
+    if (set_base + sets_per_core > geometry.num_sets) {
+      set_base = 0;
+      way_base += ways_per_core;
+    }
+    PartitionSpec spec{set_base, sets_per_core, way_base, ways_per_core};
+    spec.validate(geometry);
+    map.add_partition(spec, {CoreId{c}});
+    set_base += sets_per_core;
+  }
+  return map;
+}
+
+PartitionMap make_shared_partition(const mem::CacheGeometry& geometry,
+                                   const std::vector<CoreId>& sharers,
+                                   int num_sets, int num_ways) {
+  PartitionMap map(geometry);
+  map.add_partition(PartitionSpec{0, num_sets, 0, num_ways}, sharers);
+  return map;
+}
+
+}  // namespace psllc::llc

@@ -1,0 +1,120 @@
+// LLC partition geometry: a partition is a rectangle of (sets x ways) inside
+// the physical LLC, owned exclusively by one core (the paper's P notation)
+// or shared by n cores (SS/NSS notations).
+#ifndef PSLLC_LLC_PARTITION_H_
+#define PSLLC_LLC_PARTITION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "mem/cache_types.h"
+
+namespace psllc::llc {
+
+/// How line addresses map to sets inside a partition. The paper's analysis
+/// "does not rely on certain type of address mapping" (Section 2); both
+/// mappings are provided and the WCL bounds hold under either (see
+/// bench/ablation_mapping).
+enum class SetMapping : std::uint8_t {
+  kModulo,   ///< line mod num_sets (classic coloring)
+  kXorFold,  ///< upper index bits XOR-folded in (spreads strided patterns)
+};
+
+[[nodiscard]] constexpr const char* to_string(SetMapping m) {
+  return m == SetMapping::kModulo ? "modulo" : "xor-fold";
+}
+
+/// A set x way rectangle of the LLC.
+struct PartitionSpec {
+  int first_set = 0;
+  int num_sets = 1;
+  int first_way = 0;
+  int num_ways = 1;
+  SetMapping mapping = SetMapping::kModulo;
+
+  [[nodiscard]] int capacity_lines() const { return num_sets * num_ways; }
+
+  /// Physical set index that `line` maps to inside this partition.
+  [[nodiscard]] int map_set(LineAddr line) const {
+    const auto sets = static_cast<std::uint64_t>(num_sets);
+    std::uint64_t index = line % sets;
+    if (mapping == SetMapping::kXorFold) {
+      // Fold the next group of index bits in; any deterministic
+      // line->set function is admissible for the analysis.
+      int shift = 1;
+      while ((1 << shift) < num_sets) {
+        ++shift;
+      }
+      index = (line ^ (line >> shift)) % sets;
+    }
+    return first_set + static_cast<int>(index);
+  }
+
+  [[nodiscard]] bool contains_way(int way) const {
+    return way >= first_way && way < first_way + num_ways;
+  }
+
+  [[nodiscard]] bool contains_set(int set) const {
+    return set >= first_set && set < first_set + num_sets;
+  }
+
+  /// True if the two rectangles intersect.
+  [[nodiscard]] bool overlaps(const PartitionSpec& other) const;
+
+  /// Throws ConfigError if the rectangle does not fit in `geometry`.
+  void validate(const mem::CacheGeometry& geometry) const;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Assignment of cores to partitions. Every core accessing the LLC must be
+/// mapped to exactly one partition; distinct partitions must not overlap.
+class PartitionMap {
+ public:
+  explicit PartitionMap(const mem::CacheGeometry& geometry);
+
+  /// Registers a partition shared by `sharers`; returns its id.
+  int add_partition(const PartitionSpec& spec, std::vector<CoreId> sharers);
+
+  [[nodiscard]] int num_partitions() const {
+    return static_cast<int>(specs_.size());
+  }
+  [[nodiscard]] const PartitionSpec& spec(int id) const;
+  [[nodiscard]] const std::vector<CoreId>& sharers(int id) const;
+
+  /// Partition id of `core`, or -1 when the core has none.
+  [[nodiscard]] int partition_of(CoreId core) const;
+
+  /// Number of cores sharing `core`'s partition (the paper's n).
+  [[nodiscard]] int sharer_count_of(CoreId core) const;
+
+  /// Throws ConfigError unless every core in [0, num_cores) has a partition.
+  void validate_covers_cores(int num_cores) const;
+
+  [[nodiscard]] const mem::CacheGeometry& geometry() const {
+    return geometry_;
+  }
+
+ private:
+  mem::CacheGeometry geometry_;
+  std::vector<PartitionSpec> specs_;
+  std::vector<std::vector<CoreId>> sharers_;
+  std::vector<int> core_to_partition_;  // indexed by core id, -1 = none
+};
+
+/// Builders for the paper's three configurations (Section 5 notation),
+/// placed at set/way offset (0, 0) upward:
+///  - make_private_partitions: P(s, w) — one disjoint rectangle per core.
+///  - make_shared_partition: SS/NSS(s, w, n) — one rectangle shared by all
+///    `sharers`.
+PartitionMap make_private_partitions(const mem::CacheGeometry& geometry,
+                                     int num_cores, int sets_per_core,
+                                     int ways_per_core);
+PartitionMap make_shared_partition(const mem::CacheGeometry& geometry,
+                                   const std::vector<CoreId>& sharers,
+                                   int num_sets, int num_ways);
+
+}  // namespace psllc::llc
+
+#endif  // PSLLC_LLC_PARTITION_H_

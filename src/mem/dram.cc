@@ -1,0 +1,57 @@
+#include "mem/dram.h"
+
+#include "common/assert.h"
+
+namespace psllc::mem {
+
+void DramConfig::validate() const {
+  PSLLC_CONFIG_CHECK(fixed_latency > 0, "DRAM latency must be positive");
+  PSLLC_CONFIG_CHECK(line_bytes > 0 && is_pow2(static_cast<std::uint64_t>(
+                                           line_bytes)),
+                     "line size must be a power of two");
+  if (model_row_buffer) {
+    PSLLC_CONFIG_CHECK(num_banks > 0, "need >=1 DRAM bank");
+    PSLLC_CONFIG_CHECK(row_bytes >= line_bytes,
+                       "row must hold at least one line");
+    PSLLC_CONFIG_CHECK(row_hit_latency > 0 &&
+                           row_miss_latency >= row_hit_latency,
+                       "row-buffer latencies inconsistent");
+  }
+}
+
+Dram::Dram(const DramConfig& config) : config_(config) {
+  config_.validate();
+  open_row_.assign(static_cast<std::size_t>(config_.num_banks), -1);
+}
+
+Cycle Dram::read(LineAddr line) {
+  ++reads_;
+  return service(line);
+}
+
+Cycle Dram::write(LineAddr line) {
+  ++writes_;
+  return service(line);
+}
+
+Cycle Dram::service(LineAddr line) {
+  if (!config_.model_row_buffer) {
+    return config_.fixed_latency;
+  }
+  const Addr byte_addr = line * static_cast<Addr>(config_.line_bytes);
+  const auto bank = static_cast<std::size_t>(
+      (byte_addr / static_cast<Addr>(config_.row_bytes)) %
+      static_cast<Addr>(config_.num_banks));
+  const auto row = static_cast<std::int64_t>(
+      byte_addr / (static_cast<Addr>(config_.row_bytes) *
+                   static_cast<Addr>(config_.num_banks)));
+  if (open_row_[bank] == row) {
+    ++row_hits_;
+    return config_.row_hit_latency;
+  }
+  ++row_misses_;
+  open_row_[bank] = row;
+  return config_.row_miss_latency;
+}
+
+}  // namespace psllc::mem

@@ -1,0 +1,67 @@
+// DRAM backing-store model.
+//
+// The paper's analysis requires only that an LLC fill completes within the
+// requester's TDM slot, so the system model uses the fixed-latency mode and
+// validates `slot_width >= llc_lookup + dram_latency`. A simple open-page
+// row-buffer mode is provided for the memory-sensitivity ablation bench.
+#ifndef PSLLC_MEM_DRAM_H_
+#define PSLLC_MEM_DRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "mem/cache_types.h"
+
+namespace psllc::mem {
+
+struct DramConfig {
+  Cycle fixed_latency = 30;    ///< used when model_row_buffer == false
+  bool model_row_buffer = false;
+  int num_banks = 8;
+  int row_bytes = 2048;
+  Cycle row_hit_latency = 18;
+  Cycle row_miss_latency = 42;
+  int line_bytes = 64;
+
+  void validate() const;
+
+  /// The worst-case latency of a single access under this configuration —
+  /// what the TDM slot must be able to absorb.
+  [[nodiscard]] Cycle worst_case_latency() const {
+    return model_row_buffer ? row_miss_latency : fixed_latency;
+  }
+};
+
+class Dram {
+ public:
+  explicit Dram(const DramConfig& config);
+
+  /// Latency to read the line at `line` (fills an LLC miss).
+  Cycle read(LineAddr line);
+
+  /// Latency to write the line at `line` (dirty LLC eviction). The system
+  /// model treats LLC->DRAM writes as buffered off the critical path, but
+  /// the latency is still modeled and counted for the ablation bench.
+  Cycle write(LineAddr line);
+
+  [[nodiscard]] std::int64_t reads() const { return reads_; }
+  [[nodiscard]] std::int64_t writes() const { return writes_; }
+  [[nodiscard]] std::int64_t row_hits() const { return row_hits_; }
+  [[nodiscard]] std::int64_t row_misses() const { return row_misses_; }
+  [[nodiscard]] const DramConfig& config() const { return config_; }
+
+ private:
+  Cycle service(LineAddr line);
+
+  DramConfig config_;
+  std::vector<std::int64_t> open_row_;  // per bank; -1 = closed
+  std::int64_t reads_ = 0;
+  std::int64_t writes_ = 0;
+  std::int64_t row_hits_ = 0;
+  std::int64_t row_misses_ = 0;
+};
+
+}  // namespace psllc::mem
+
+#endif  // PSLLC_MEM_DRAM_H_

@@ -1,0 +1,164 @@
+#include "rt/partition_planner.h"
+
+#include <algorithm>
+
+#include "common/table.h"
+
+namespace psllc::rt {
+
+namespace {
+
+/// Evaluates one candidate split: `isolated[c]` says whether core c gets a
+/// private slice. Fills the per-core outcomes; returns the built map.
+PartitionPlan evaluate(const std::vector<Task>& tasks,
+                       const core::SystemConfig& config,
+                       const std::vector<bool>& isolated) {
+  const int num_cores = config.num_cores;
+  const auto& geometry = config.llc.geometry;
+  const int m_cua = config.private_caches.l2.capacity_lines();
+
+  const int isolated_count = static_cast<int>(
+      std::count(isolated.begin(), isolated.end(), true));
+  const int shared_count = num_cores - isolated_count;
+  // Fair slice: an isolated core gets its 1/N share of the sets.
+  const int sets_per_isolated = std::max(1, geometry.num_sets / num_cores);
+  const int shared_sets =
+      geometry.num_sets - isolated_count * sets_per_isolated;
+
+  PartitionPlan plan;
+  plan.isolated_cores = isolated_count;
+  if (shared_count > 0 && shared_sets < 1) {
+    plan.feasible = false;  // no room left for the sharers
+    return plan;
+  }
+
+  plan.cores.resize(static_cast<std::size_t>(num_cores));
+  bool all_ok = true;
+  for (int c = 0; c < num_cores; ++c) {
+    PlannedCore& planned = plan.cores[static_cast<std::size_t>(c)];
+    planned.task = tasks[static_cast<std::size_t>(c)];
+    CorePartition& partition = planned.partition;
+    if (isolated[static_cast<std::size_t>(c)] || shared_count == 1) {
+      // A lone "sharer" is effectively isolated too.
+      partition.isolated = true;
+      partition.sets = isolated[static_cast<std::size_t>(c)]
+                           ? sets_per_isolated
+                           : shared_sets;
+      partition.ways = geometry.num_ways;
+      partition.sharers = 1;
+    } else if (!isolated[static_cast<std::size_t>(c)]) {
+      partition.isolated = false;
+      partition.sets = shared_sets;
+      partition.ways = geometry.num_ways;
+      partition.sharers = shared_count;
+    }
+    planned.wcet = wcet_bound(planned.task, partition, num_cores,
+                              config.slot_width, m_cua);
+    planned.schedulable = planned.wcet <= planned.task.period;
+    all_ok = all_ok && planned.schedulable;
+  }
+  plan.feasible = all_ok;
+
+  // Build the concrete LLC map (valid regardless of feasibility so callers
+  // can inspect near-misses).
+  llc::PartitionMap map(geometry);
+  int next_set = 0;
+  std::vector<CoreId> sharers;
+  for (int c = 0; c < num_cores; ++c) {
+    if (isolated[static_cast<std::size_t>(c)]) {
+      map.add_partition(llc::PartitionSpec{next_set, sets_per_isolated, 0,
+                                           geometry.num_ways},
+                        {CoreId{c}});
+      next_set += sets_per_isolated;
+    } else {
+      sharers.emplace_back(c);
+    }
+  }
+  if (!sharers.empty()) {
+    map.add_partition(llc::PartitionSpec{next_set,
+                                         geometry.num_sets - next_set, 0,
+                                         geometry.num_ways},
+                      sharers);
+  }
+  plan.partitions.emplace(std::move(map));
+  return plan;
+}
+
+}  // namespace
+
+PartitionPlan plan_partitions(const std::vector<Task>& tasks,
+                              const core::SystemConfig& config) {
+  PSLLC_CONFIG_CHECK(static_cast<int>(tasks.size()) == config.num_cores,
+                     "one task per core: " << tasks.size() << " tasks vs "
+                                           << config.num_cores << " cores");
+  for (const Task& task : tasks) {
+    task.validate();
+  }
+  const int num_cores = config.num_cores;
+  std::vector<bool> isolated(static_cast<std::size_t>(num_cores), false);
+
+  PartitionPlan best = evaluate(tasks, config, isolated);
+  while (!best.feasible) {
+    // Isolate the neediest still-shared unschedulable core:
+    // high-criticality first, then largest overshoot.
+    int pick = -1;
+    Cycle worst_overshoot = -1;
+    bool pick_is_high = false;
+    for (int c = 0; c < num_cores; ++c) {
+      if (isolated[static_cast<std::size_t>(c)]) {
+        continue;
+      }
+      const PlannedCore& planned = best.cores[static_cast<std::size_t>(c)];
+      if (planned.schedulable) {
+        continue;
+      }
+      const bool is_high = planned.task.criticality == Criticality::kHigh;
+      const Cycle overshoot = planned.wcet - planned.task.period;
+      if (pick < 0 || (is_high && !pick_is_high) ||
+          (is_high == pick_is_high && overshoot > worst_overshoot)) {
+        pick = c;
+        worst_overshoot = overshoot;
+        pick_is_high = is_high;
+      }
+    }
+    if (pick < 0) {
+      // Every unschedulable core is already isolated — no further lever.
+      return best;
+    }
+    isolated[static_cast<std::size_t>(pick)] = true;
+    PartitionPlan candidate = evaluate(tasks, config, isolated);
+    if (!candidate.partitions.has_value() && !candidate.feasible &&
+        candidate.cores.empty()) {
+      return best;  // ran out of sets for the sharers
+    }
+    best = std::move(candidate);
+    if (best.cores.empty()) {
+      return best;
+    }
+  }
+  return best;
+}
+
+std::string PartitionPlan::describe() const {
+  Table table({"task", "criticality", "partition", "WCET bound", "period",
+               "schedulable"});
+  for (std::size_t c = 0; c < cores.size(); ++c) {
+    const PlannedCore& planned = cores[c];
+    std::string partition_text =
+        planned.partition.isolated
+            ? "private " + std::to_string(planned.partition.sets) + "x" +
+                  std::to_string(planned.partition.ways)
+            : "shared " + std::to_string(planned.partition.sets) + "x" +
+                  std::to_string(planned.partition.ways) + " (n=" +
+                  std::to_string(planned.partition.sharers) + ", SS)";
+    table.add_row({planned.task.name, to_string(planned.task.criticality),
+                   partition_text, format_cycles(planned.wcet),
+                   format_cycles(planned.task.period),
+                   planned.schedulable ? "yes" : "NO"});
+  }
+  std::string out = table.to_text();
+  out += feasible ? "plan: FEASIBLE\n" : "plan: INFEASIBLE\n";
+  return out;
+}
+
+}  // namespace psllc::rt

@@ -1,0 +1,50 @@
+// Partition planner — the deployment flow the paper's conclusion sketches:
+// "certain tasks have their own partitions, but others share partitions;
+// all of which depends on their performance and real-time requirements."
+//
+// Given one task per core, the planner starts from the utilization-friendly
+// extreme (everybody shares the whole LLC through the set sequencer) and
+// isolates tasks into private set-ranges until every task's composed WCET
+// fits its period. High-criticality tasks are isolated first; the shared
+// partition keeps the remaining sets.
+#ifndef PSLLC_RT_PARTITION_PLANNER_H_
+#define PSLLC_RT_PARTITION_PLANNER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/system_config.h"
+#include "llc/partition.h"
+#include "rt/task.h"
+#include "rt/wcet.h"
+
+namespace psllc::rt {
+
+/// Result for one task/core.
+struct PlannedCore {
+  Task task;
+  CorePartition partition;
+  Cycle wcet = 0;
+  bool schedulable = false;
+};
+
+struct PartitionPlan {
+  bool feasible = false;
+  std::vector<PlannedCore> cores;          ///< indexed by core id
+  std::optional<llc::PartitionMap> partitions;  ///< buildable LLC map
+  int isolated_cores = 0;
+
+  /// Human-readable summary table.
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Plans partitions for `tasks` (task i runs on core i) on the platform
+/// described by `config` (geometry, slot width, private cache capacity).
+/// Throws ConfigError when tasks.size() != config.num_cores.
+[[nodiscard]] PartitionPlan plan_partitions(const std::vector<Task>& tasks,
+                                            const core::SystemConfig& config);
+
+}  // namespace psllc::rt
+
+#endif  // PSLLC_RT_PARTITION_PLANNER_H_

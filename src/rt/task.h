@@ -1,0 +1,51 @@
+// Real-time task model for WCET composition on top of the LLC analysis.
+//
+// The paper assumes one task per core (Section 3) and motivates partition
+// sharing with consolidation of safety-critical functionalities (ISO 26262,
+// Section 1). This module composes a task's worst-case execution time from
+// its compute demand and a bound on its LLC misses, each charged the
+// partition configuration's analytical worst-case latency.
+#ifndef PSLLC_RT_TASK_H_
+#define PSLLC_RT_TASK_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/assert.h"
+#include "common/types.h"
+
+namespace psllc::rt {
+
+/// Criticality bands (coarse ISO-26262-style grouping): high-criticality
+/// tasks prefer isolation (private partitions); low ones may share.
+enum class Criticality : std::uint8_t { kHigh, kLow };
+
+[[nodiscard]] constexpr const char* to_string(Criticality c) {
+  return c == Criticality::kHigh ? "HIGH" : "LOW";
+}
+
+/// A periodic task, pinned to one core, implicit deadline = period.
+struct Task {
+  std::string name;
+  Criticality criticality = Criticality::kLow;
+  /// Compute cycles per job, excluding all LLC-miss stalls (private-cache
+  /// hit latencies are assumed folded in by the WCET analysis producing
+  /// this number).
+  Cycle wcet_compute = 0;
+  /// Safe upper bound on LLC requests (L2 misses) per job, from static
+  /// cache analysis of the task against its private caches.
+  std::int64_t worst_case_llc_misses = 0;
+  Cycle period = 0;
+
+  void validate() const {
+    PSLLC_CONFIG_CHECK(!name.empty(), "task needs a name");
+    PSLLC_CONFIG_CHECK(wcet_compute >= 0, "negative compute WCET");
+    PSLLC_CONFIG_CHECK(worst_case_llc_misses >= 0, "negative miss bound");
+    PSLLC_CONFIG_CHECK(period > 0, "task '" << name
+                                            << "' needs a positive period");
+  }
+};
+
+}  // namespace psllc::rt
+
+#endif  // PSLLC_RT_TASK_H_

@@ -1,0 +1,44 @@
+#include "rt/wcet.h"
+
+namespace psllc::rt {
+
+Cycle per_miss_bound(const CorePartition& partition, int total_cores,
+                     Cycle slot_width, int cua_capacity_lines) {
+  PSLLC_CONFIG_CHECK(total_cores >= 1 && slot_width > 0,
+                     "bad platform parameters");
+  const Cycle period = static_cast<Cycle>(total_cores) * slot_width;
+  if (partition.isolated) {
+    // Service bound + alignment period + one period for a queued
+    // self-eviction write-back winning the round robin.
+    return core::wcl_private_cycles(total_cores, slot_width) + 2 * period;
+  }
+  core::SharedPartitionScenario scenario;
+  scenario.total_cores = total_cores;
+  scenario.sharers = partition.sharers;
+  scenario.partition_sets = partition.sets;
+  scenario.partition_ways = partition.ways;
+  scenario.cua_capacity_lines = cua_capacity_lines;
+  scenario.slot_width = slot_width;
+  // Alignment period + up to `sharers` pending forced write-backs before
+  // the first presentation.
+  return core::wcl_set_sequencer_cycles(scenario) +
+         (1 + partition.sharers) * period;
+}
+
+Cycle wcet_bound(const Task& task, const CorePartition& partition,
+                 int total_cores, Cycle slot_width, int cua_capacity_lines) {
+  task.validate();
+  return task.wcet_compute +
+         task.worst_case_llc_misses *
+             per_miss_bound(partition, total_cores, slot_width,
+                            cua_capacity_lines);
+}
+
+bool is_schedulable(const Task& task, const CorePartition& partition,
+                    int total_cores, Cycle slot_width,
+                    int cua_capacity_lines) {
+  return wcet_bound(task, partition, total_cores, slot_width,
+                    cua_capacity_lines) <= task.period;
+}
+
+}  // namespace psllc::rt

@@ -1,0 +1,49 @@
+// WCET composition: charging every LLC miss its analytical worst case.
+//
+// Per-miss bound = service WCL (Theorems 4.7/4.8 or the private bound)
+// plus a conservative release penalty: the request can be issued right
+// after the core's slot started (one period of alignment), and queued
+// write-backs can win the round-robin before the first presentation (one
+// period each; at most `sharers` forced write-backs can be pending for a
+// shared partition, one self-eviction write-back for a private one).
+#ifndef PSLLC_RT_WCET_H_
+#define PSLLC_RT_WCET_H_
+
+#include "core/system_config.h"
+#include "core/wcl_analysis.h"
+#include "rt/task.h"
+
+namespace psllc::rt {
+
+/// Describes the partition a core was assigned by a plan.
+struct CorePartition {
+  bool isolated = false;  ///< private partition (P) vs shared (SS)
+  int sets = 1;
+  int ways = 1;
+  int sharers = 1;  ///< n, including this core (1 when isolated)
+};
+
+/// Worst-case cycles for one LLC miss under `partition` on an `total_cores`
+/// system with `slot_width` slots and `cua_capacity_lines` of private
+/// cache. Shared partitions are assumed sequenced (SS — the configuration
+/// this library advocates); use core::wcl_1s_tdm_cycles directly for NSS.
+[[nodiscard]] Cycle per_miss_bound(const CorePartition& partition,
+                                   int total_cores, Cycle slot_width,
+                                   int cua_capacity_lines);
+
+/// wcet_compute + worst_case_llc_misses * per_miss_bound.
+[[nodiscard]] Cycle wcet_bound(const Task& task,
+                               const CorePartition& partition,
+                               int total_cores, Cycle slot_width,
+                               int cua_capacity_lines);
+
+/// One task per core, non-preemptive (the paper's system model): a task is
+/// schedulable iff its composed WCET fits its period.
+[[nodiscard]] bool is_schedulable(const Task& task,
+                                  const CorePartition& partition,
+                                  int total_cores, Cycle slot_width,
+                                  int cua_capacity_lines);
+
+}  // namespace psllc::rt
+
+#endif  // PSLLC_RT_WCET_H_

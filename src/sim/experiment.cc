@@ -1,0 +1,135 @@
+#include "sim/experiment.h"
+
+#include "common/assert.h"
+#include "core/wcl_analysis.h"
+
+namespace psllc::sim {
+
+const SweepCell& SweepResult::cell(int range_index, int config_index) const {
+  PSLLC_ASSERT(range_index >= 0 &&
+                   range_index < static_cast<int>(ranges.size()),
+               "range index " << range_index);
+  PSLLC_ASSERT(config_index >= 0 &&
+                   config_index < static_cast<int>(configs.size()),
+               "config index " << config_index);
+  return cells[static_cast<std::size_t>(range_index) * configs.size() +
+               static_cast<std::size_t>(config_index)];
+}
+
+SweepResult run_sweep(const std::vector<SweepConfig>& configs,
+                      const SweepOptions& options) {
+  PSLLC_CONFIG_CHECK(!configs.empty(), "sweep needs >=1 configuration");
+  PSLLC_CONFIG_CHECK(!options.address_ranges.empty(),
+                     "sweep needs >=1 address range");
+  SweepResult result;
+  result.configs = configs;
+  result.ranges = options.address_ranges;
+  result.cells.reserve(configs.size() * options.address_ranges.size());
+
+  for (const std::int64_t range : options.address_ranges) {
+    for (const SweepConfig& config : configs) {
+      RandomWorkloadOptions workload;
+      workload.range_bytes = range;
+      workload.accesses = options.accesses_per_core;
+      workload.write_fraction = options.write_fraction;
+      // Trace identity: (seed, core, range) only — identical addresses for
+      // every configuration, as the paper requires.
+      const std::vector<core::Trace> traces = make_disjoint_random_workload(
+          config.active_cores, workload, options.seed);
+      const core::ExperimentSetup setup =
+          core::make_paper_setup(config.notation, config.active_cores);
+      RunOptions run_options;
+      run_options.max_cycles = options.max_cycles;
+      SweepCell cell;
+      cell.config = config;
+      cell.range_bytes = range;
+      cell.metrics = run_experiment(setup, traces, run_options);
+      result.cells.push_back(std::move(cell));
+    }
+  }
+  return result;
+}
+
+namespace {
+
+std::vector<std::string> header_for(const SweepResult& result,
+                                    const std::string& first_column) {
+  std::vector<std::string> header{first_column};
+  for (const SweepConfig& config : result.configs) {
+    header.push_back(config.notation);
+  }
+  return header;
+}
+
+}  // namespace
+
+Table wcl_table(const SweepResult& result) {
+  Table table(header_for(result, "range_bytes"));
+  for (int r = 0; r < static_cast<int>(result.ranges.size()); ++r) {
+    std::vector<std::string> row{std::to_string(result.ranges[
+        static_cast<std::size_t>(r)])};
+    for (int c = 0; c < static_cast<int>(result.configs.size()); ++c) {
+      const SweepCell& cell = result.cell(r, c);
+      row.push_back(cell.metrics.completed
+                        ? std::to_string(cell.metrics.observed_wcl)
+                        : "DNF");
+    }
+    table.add_row(std::move(row));
+  }
+  std::vector<std::string> bound_row{"analytical_WCL"};
+  for (int c = 0; c < static_cast<int>(result.configs.size()); ++c) {
+    bound_row.push_back(
+        std::to_string(result.cell(0, c).metrics.analytical_wcl));
+  }
+  table.add_row(std::move(bound_row));
+  return table;
+}
+
+Table exec_time_table(const SweepResult& result) {
+  Table table(header_for(result, "range_bytes"));
+  for (int r = 0; r < static_cast<int>(result.ranges.size()); ++r) {
+    std::vector<std::string> row{std::to_string(result.ranges[
+        static_cast<std::size_t>(r)])};
+    for (int c = 0; c < static_cast<int>(result.configs.size()); ++c) {
+      const SweepCell& cell = result.cell(r, c);
+      row.push_back(cell.metrics.completed
+                        ? std::to_string(cell.metrics.makespan)
+                        : "DNF");
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+double mean_speedup(const SweepResult& result, const std::string& numerator,
+                    const std::string& denominator) {
+  int num_index = -1;
+  int den_index = -1;
+  for (int c = 0; c < static_cast<int>(result.configs.size()); ++c) {
+    if (result.configs[static_cast<std::size_t>(c)].notation == numerator) {
+      num_index = c;
+    }
+    if (result.configs[static_cast<std::size_t>(c)].notation == denominator) {
+      den_index = c;
+    }
+  }
+  PSLLC_CONFIG_CHECK(num_index >= 0, "unknown config " << numerator);
+  PSLLC_CONFIG_CHECK(den_index >= 0, "unknown config " << denominator);
+  double sum = 0;
+  int counted = 0;
+  for (int r = 0; r < static_cast<int>(result.ranges.size()); ++r) {
+    const RunMetrics& num = result.cell(r, num_index).metrics;
+    const RunMetrics& den = result.cell(r, den_index).metrics;
+    if (!num.completed || !den.completed || num.makespan <= 0) {
+      continue;
+    }
+    // Speedup of `numerator` over `denominator`: t_den / t_num.
+    sum += static_cast<double>(den.makespan) /
+           static_cast<double>(num.makespan);
+    ++counted;
+  }
+  PSLLC_CONFIG_CHECK(counted > 0, "no comparable completed runs");
+  return sum / counted;
+}
+
+}  // namespace psllc::sim

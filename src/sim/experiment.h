@@ -1,0 +1,71 @@
+// Sweep harness regenerating the paper's evaluation figures: a grid of
+// (partition configuration x address range) cells, with the same per-core
+// traces replayed against every configuration (paper Section 5).
+#ifndef PSLLC_SIM_EXPERIMENT_H_
+#define PSLLC_SIM_EXPERIMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "sim/runner.h"
+#include "sim/workload.h"
+
+namespace psllc::sim {
+
+/// One configuration column of a sweep.
+struct SweepConfig {
+  std::string notation;  ///< e.g. "SS(1,2,4)"
+  int active_cores = 4;
+};
+
+struct SweepOptions {
+  /// The paper's x-axis: 1 KiB .. 256 KiB.
+  std::vector<std::int64_t> address_ranges = {1024,  2048,   4096,
+                                              8192,  16384,  32768,
+                                              65536, 131072, 262144};
+  int accesses_per_core = 20000;
+  double write_fraction = 0.25;
+  std::uint64_t seed = 42;
+  Cycle max_cycles = 2'000'000'000;
+};
+
+/// All metrics of one sweep cell.
+struct SweepCell {
+  SweepConfig config;
+  std::int64_t range_bytes = 0;
+  RunMetrics metrics;
+};
+
+struct SweepResult {
+  std::vector<SweepConfig> configs;
+  std::vector<std::int64_t> ranges;
+  /// cells[r * configs.size() + c]
+  std::vector<SweepCell> cells;
+
+  [[nodiscard]] const SweepCell& cell(int range_index, int config_index) const;
+};
+
+/// Runs the full grid. Traces depend only on (seed, core, range), so every
+/// configuration sees identical addresses.
+[[nodiscard]] SweepResult run_sweep(const std::vector<SweepConfig>& configs,
+                                    const SweepOptions& options);
+
+/// Figure 7 rendering: one row per address range, one column per config
+/// with the observed WCL in cycles, plus a final analytical-bound row.
+[[nodiscard]] Table wcl_table(const SweepResult& result);
+
+/// Figure 8 rendering: execution time (makespan cycles) per range/config.
+[[nodiscard]] Table exec_time_table(const SweepResult& result);
+
+/// Mean speedup of configuration `numerator` over `denominator` (ratios of
+/// makespans averaged across ranges; ranges where either run failed to
+/// complete are skipped). Mirrors the paper's "average speedup of X×".
+[[nodiscard]] double mean_speedup(const SweepResult& result,
+                                  const std::string& numerator,
+                                  const std::string& denominator);
+
+}  // namespace psllc::sim
+
+#endif  // PSLLC_SIM_EXPERIMENT_H_

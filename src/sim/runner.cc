@@ -1,0 +1,54 @@
+#include "sim/runner.h"
+
+#include "common/assert.h"
+#include "core/wcl_analysis.h"
+
+namespace psllc::sim {
+
+RunMetrics run_experiment(const core::ExperimentSetup& setup,
+                          const std::vector<core::Trace>& traces,
+                          const RunOptions& options) {
+  PSLLC_CONFIG_CHECK(
+      static_cast<int>(traces.size()) <= setup.config.num_cores,
+      "more traces (" << traces.size() << ") than cores ("
+                      << setup.config.num_cores << ")");
+  core::System system(setup);
+  for (std::size_t c = 0; c < traces.size(); ++c) {
+    system.set_trace(CoreId{static_cast<int>(c)}, traces[c]);
+  }
+  return run_system(system, setup, options);
+}
+
+RunMetrics run_system(core::System& system,
+                      const core::ExperimentSetup& setup,
+                      const RunOptions& options) {
+  const core::RunResult result = system.run(options.max_cycles);
+
+  RunMetrics metrics;
+  metrics.completed = result.all_done;
+  metrics.end_cycle = result.end_cycle;
+  metrics.analytical_wcl = core::analytical_wcl_cycles(setup, CoreId{0});
+  const core::RequestTracker& tracker = system.tracker();
+  metrics.llc_requests = tracker.completed_requests();
+  metrics.observed_wcl =
+      tracker.completed_requests() > 0 ? tracker.max_service_latency() : 0;
+  const int cores = system.config().num_cores;
+  metrics.per_core_finish.reserve(static_cast<std::size_t>(cores));
+  for (int c = 0; c < cores; ++c) {
+    const core::TraceCore& core_ref = system.core(CoreId{c});
+    metrics.per_core_finish.push_back(
+        core_ref.trace_done() ? core_ref.finish_time() : kNoCycle);
+    metrics.per_core_l1_hits.push_back(core_ref.caches().l1_hits());
+    metrics.per_core_l2_hits.push_back(core_ref.caches().l2_hits());
+    metrics.per_core_misses.push_back(core_ref.caches().misses());
+  }
+  if (metrics.completed) {
+    metrics.makespan = system.makespan();
+  }
+  metrics.llc_stats = system.llc().stats();
+  metrics.dram_reads = system.dram().reads();
+  metrics.dram_writes = system.dram().writes();
+  return metrics;
+}
+
+}  // namespace psllc::sim

@@ -1,0 +1,51 @@
+// One-shot experiment runner: builds a System from an ExperimentSetup,
+// installs traces, runs to completion, and gathers the metrics the paper's
+// evaluation reports.
+#ifndef PSLLC_SIM_RUNNER_H_
+#define PSLLC_SIM_RUNNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/system.h"
+#include "core/system_config.h"
+
+namespace psllc::sim {
+
+struct RunMetrics {
+  bool completed = false;   ///< all traces finished within the horizon
+  Cycle end_cycle = 0;      ///< simulated time consumed
+  Cycle makespan = 0;       ///< max per-core trace finish time (Figure 8)
+  Cycle observed_wcl = 0;   ///< max service latency over all requests (Fig 7)
+  Cycle analytical_wcl = 0; ///< bound from core/wcl_analysis for core 0
+  std::int64_t llc_requests = 0;  ///< completed LLC requests
+  std::vector<Cycle> per_core_finish;
+  std::vector<std::int64_t> per_core_l1_hits;
+  std::vector<std::int64_t> per_core_l2_hits;
+  std::vector<std::int64_t> per_core_misses;
+  llc::PartitionedLlc::Stats llc_stats;
+  std::int64_t dram_reads = 0;
+  std::int64_t dram_writes = 0;
+};
+
+struct RunOptions {
+  /// Safety horizon; a run that does not finish within it reports
+  /// completed == false (used deliberately by the unbounded scenario).
+  Cycle max_cycles = 2'000'000'000;
+};
+
+/// Runs `traces` (one per core, padded with empty traces) on a fresh System
+/// built from `setup`.
+[[nodiscard]] RunMetrics run_experiment(const core::ExperimentSetup& setup,
+                                        const std::vector<core::Trace>& traces,
+                                        const RunOptions& options = {});
+
+/// As above, but against an already-constructed system (traces installed by
+/// the caller); `analytical_wcl` is filled from `setup`.
+[[nodiscard]] RunMetrics run_system(core::System& system,
+                                    const core::ExperimentSetup& setup,
+                                    const RunOptions& options = {});
+
+}  // namespace psllc::sim
+
+#endif  // PSLLC_SIM_RUNNER_H_

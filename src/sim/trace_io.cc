@@ -1,0 +1,95 @@
+#include "sim/trace_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/assert.h"
+#include "common/string_util.h"
+
+namespace psllc::sim {
+
+core::Trace read_trace(std::istream& input) {
+  core::Trace trace;
+  std::string raw;
+  int line_number = 0;
+  while (std::getline(input, raw)) {
+    ++line_number;
+    std::string_view line = trim(raw);
+    if (const auto hash = line.find('#'); hash != std::string_view::npos) {
+      line = trim(line.substr(0, hash));
+    }
+    if (line.empty()) {
+      continue;
+    }
+    std::istringstream fields{std::string(line)};
+    std::string op;
+    std::string addr_text;
+    fields >> op >> addr_text;
+    PSLLC_CONFIG_CHECK(!op.empty() && !addr_text.empty(),
+                       "trace line " << line_number << ": malformed entry");
+    core::MemOp entry;
+    if (iequals(op, "R")) {
+      entry.type = AccessType::kRead;
+    } else if (iequals(op, "W")) {
+      entry.type = AccessType::kWrite;
+    } else if (iequals(op, "I")) {
+      entry.type = AccessType::kIfetch;
+    } else {
+      PSLLC_CONFIG_CHECK(false, "trace line " << line_number
+                                              << ": unknown op '" << op
+                                              << "'");
+    }
+    const auto addr = parse_u64(addr_text);
+    PSLLC_CONFIG_CHECK(addr.has_value(), "trace line "
+                                             << line_number
+                                             << ": bad address '"
+                                             << addr_text << "'");
+    entry.addr = *addr;
+    std::string gap_text;
+    if (fields >> gap_text) {
+      const auto gap = parse_i64(gap_text);
+      PSLLC_CONFIG_CHECK(gap.has_value() && *gap >= 0,
+                         "trace line " << line_number << ": bad gap '"
+                                       << gap_text << "'");
+      entry.gap = *gap;
+      std::string extra;
+      PSLLC_CONFIG_CHECK(!(fields >> extra), "trace line "
+                                                 << line_number
+                                                 << ": trailing tokens");
+    }
+    trace.push_back(entry);
+  }
+  return trace;
+}
+
+core::Trace read_trace_file(const std::string& path) {
+  std::ifstream input(path);
+  if (!input) {
+    throw std::runtime_error("cannot open trace file: " + path);
+  }
+  return read_trace(input);
+}
+
+void write_trace(std::ostream& output, const core::Trace& trace) {
+  for (const core::MemOp& op : trace) {
+    output << to_string(op.type) << " 0x" << std::hex << op.addr << std::dec;
+    if (op.gap != 0) {
+      output << ' ' << op.gap;
+    }
+    output << '\n';
+  }
+}
+
+void write_trace_file(const std::string& path, const core::Trace& trace) {
+  std::ofstream output(path);
+  if (!output) {
+    throw std::runtime_error("cannot open trace file for writing: " + path);
+  }
+  write_trace(output, trace);
+  if (!output) {
+    throw std::runtime_error("error writing trace file: " + path);
+  }
+}
+
+}  // namespace psllc::sim

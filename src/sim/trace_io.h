@@ -1,0 +1,28 @@
+// Text trace format, one access per line:
+//   <R|W|I> <address> [gap]
+// where address is decimal or 0x-hex and gap is an optional think time in
+// cycles. '#' starts a comment; blank lines are ignored.
+#ifndef PSLLC_SIM_TRACE_IO_H_
+#define PSLLC_SIM_TRACE_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "core/mem_op.h"
+
+namespace psllc::sim {
+
+/// Parses a trace from `input`. Throws ConfigError with the offending line
+/// number on malformed input.
+[[nodiscard]] core::Trace read_trace(std::istream& input);
+
+/// Loads a trace file. Throws std::runtime_error when unreadable.
+[[nodiscard]] core::Trace read_trace_file(const std::string& path);
+
+/// Writes the text representation.
+void write_trace(std::ostream& output, const core::Trace& trace);
+void write_trace_file(const std::string& path, const core::Trace& trace);
+
+}  // namespace psllc::sim
+
+#endif  // PSLLC_SIM_TRACE_IO_H_

@@ -1,0 +1,99 @@
+#include "sim/workload.h"
+
+#include <numeric>
+
+#include "common/assert.h"
+#include "common/rng.h"
+
+namespace psllc::sim {
+
+namespace {
+constexpr int kLineBytes = 64;
+}
+
+core::Trace make_uniform_random_trace(Addr base,
+                                      const RandomWorkloadOptions& options,
+                                      std::uint64_t seed) {
+  PSLLC_CONFIG_CHECK(options.range_bytes >= kLineBytes,
+                     "range must hold at least one line");
+  PSLLC_CONFIG_CHECK(options.accesses > 0, "need >=1 access");
+  PSLLC_CONFIG_CHECK(options.write_fraction >= 0.0 &&
+                         options.write_fraction <= 1.0,
+                     "write fraction must be in [0,1]");
+  Rng rng(seed);
+  core::Trace trace;
+  trace.reserve(static_cast<std::size_t>(options.accesses));
+  const auto range = static_cast<std::uint64_t>(options.range_bytes);
+  for (int i = 0; i < options.accesses; ++i) {
+    Addr offset = rng.next_below(range);
+    if (options.line_aligned) {
+      offset &= ~static_cast<Addr>(kLineBytes - 1);
+    }
+    const AccessType type = rng.next_bool(options.write_fraction)
+                                ? AccessType::kWrite
+                                : AccessType::kRead;
+    trace.push_back(core::MemOp{base + offset, type, options.gap});
+  }
+  return trace;
+}
+
+std::vector<core::Trace> make_disjoint_random_workload(
+    int num_cores, const RandomWorkloadOptions& options, std::uint64_t seed) {
+  PSLLC_CONFIG_CHECK(num_cores > 0, "need >=1 core");
+  std::vector<core::Trace> traces;
+  traces.reserve(static_cast<std::size_t>(num_cores));
+  for (int c = 0; c < num_cores; ++c) {
+    const Addr base =
+        static_cast<Addr>(c) * static_cast<Addr>(options.range_bytes);
+    // Stream identity: (seed, core, range) — independent of the cache
+    // configuration, as the paper requires.
+    const std::uint64_t stream = mix_seed(
+        seed, static_cast<std::uint64_t>(c),
+        static_cast<std::uint64_t>(options.range_bytes));
+    traces.push_back(make_uniform_random_trace(base, options, stream));
+  }
+  return traces;
+}
+
+core::Trace make_strided_trace(Addr base, std::int64_t stride, int count,
+                               int repeat) {
+  PSLLC_CONFIG_CHECK(count > 0 && repeat > 0, "need positive count/repeat");
+  core::Trace trace;
+  trace.reserve(static_cast<std::size_t>(count) *
+                static_cast<std::size_t>(repeat));
+  for (int r = 0; r < repeat; ++r) {
+    for (int i = 0; i < count; ++i) {
+      trace.push_back(core::MemOp{
+          base + static_cast<Addr>(i) * static_cast<Addr>(stride),
+          AccessType::kRead, 0});
+    }
+  }
+  return trace;
+}
+
+core::Trace make_pointer_chase_trace(Addr base, int nodes, int steps,
+                                     std::uint64_t seed) {
+  PSLLC_CONFIG_CHECK(nodes > 1, "pointer chase needs >=2 nodes");
+  PSLLC_CONFIG_CHECK(steps > 0, "need >=1 step");
+  // Sattolo's algorithm: a uniformly random single-cycle permutation.
+  std::vector<int> next(static_cast<std::size_t>(nodes));
+  std::iota(next.begin(), next.end(), 0);
+  Rng rng(seed);
+  for (int i = nodes - 1; i > 0; --i) {
+    const auto j = static_cast<int>(rng.next_below(
+        static_cast<std::uint64_t>(i)));
+    std::swap(next[static_cast<std::size_t>(i)],
+              next[static_cast<std::size_t>(j)]);
+  }
+  core::Trace trace;
+  trace.reserve(static_cast<std::size_t>(steps));
+  int node = 0;
+  for (int s = 0; s < steps; ++s) {
+    trace.push_back(core::MemOp{
+        base + static_cast<Addr>(node) * kLineBytes, AccessType::kRead, 0});
+    node = next[static_cast<std::size_t>(node)];
+  }
+  return trace;
+}
+
+}  // namespace psllc::sim

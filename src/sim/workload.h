@@ -1,0 +1,54 @@
+// Synthetic workload generators (paper Section 5, "Workload generation").
+//
+// The paper uses memory requests to uniformly random addresses within an
+// address range, with disjoint ranges per core, and stresses that "for a
+// certain address range, a core issues the same memory addresses across
+// different partitioned configurations" — achieved here by seeding each
+// (seed, core, range) stream independently of the cache configuration.
+#ifndef PSLLC_SIM_WORKLOAD_H_
+#define PSLLC_SIM_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/mem_op.h"
+
+namespace psllc::sim {
+
+struct RandomWorkloadOptions {
+  std::int64_t range_bytes = 4096;  ///< addresses drawn from [base, base+range)
+  int accesses = 10000;
+  double write_fraction = 0.25;  ///< probability an access is a store
+  Cycle gap = 0;                 ///< think time between accesses
+  bool line_aligned = true;      ///< draw line-granular addresses
+};
+
+/// Uniform-random trace within [base, base + range_bytes).
+[[nodiscard]] core::Trace make_uniform_random_trace(
+    Addr base, const RandomWorkloadOptions& options, std::uint64_t seed);
+
+/// Per-core disjoint random traces: core i draws from the contiguous range
+/// [i * range_bytes, (i+1) * range_bytes) — disjoint ranges that tile the
+/// address space, so when the summed ranges fit a shared partition the
+/// cores' lines map to disjoint sets (the paper's Figure 8 "execution time
+/// is the same while the address range fits" behaviour). Streams depend
+/// only on (seed, core, range) so every partitioned configuration sees
+/// identical addresses.
+[[nodiscard]] std::vector<core::Trace> make_disjoint_random_workload(
+    int num_cores, const RandomWorkloadOptions& options, std::uint64_t seed);
+
+/// Sequential strided trace: base, base+stride, ... (count accesses),
+/// repeated cyclically when `repeat` > 1. Reads only.
+[[nodiscard]] core::Trace make_strided_trace(Addr base, std::int64_t stride,
+                                             int count, int repeat = 1);
+
+/// Pointer-chase trace: a random permutation cycle over `nodes` lines
+/// starting at `base`, walked `steps` times — maximally cache-unfriendly
+/// ordering with a working set of `nodes` lines.
+[[nodiscard]] core::Trace make_pointer_chase_trace(Addr base, int nodes,
+                                                   int steps,
+                                                   std::uint64_t seed);
+
+}  // namespace psllc::sim
+
+#endif  // PSLLC_SIM_WORKLOAD_H_

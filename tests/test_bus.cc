@@ -1,0 +1,221 @@
+// Tests for the TDM schedule (distance calculus, Definition 4.2 /
+// Corollary 4.3) and the PRB/PWB round-robin arbitration.
+#include <gtest/gtest.h>
+
+#include "bus/pending_buffers.h"
+#include "bus/tdm_schedule.h"
+#include "common/assert.h"
+
+namespace psllc::bus {
+namespace {
+
+// --- schedules ---------------------------------------------------------------
+
+TEST(TdmSchedule, OneSlotBuilderProperties) {
+  const auto schedule = TdmSchedule::one_slot(4, 50);
+  EXPECT_TRUE(schedule.is_one_slot_tdm());
+  EXPECT_EQ(schedule.slots_per_period(), 4);
+  EXPECT_EQ(schedule.period_cycles(), 200);
+  EXPECT_EQ(schedule.num_cores(), 4);
+  EXPECT_EQ(schedule.owner_of_slot(0), CoreId{0});
+  EXPECT_EQ(schedule.owner_of_slot(5), CoreId{1});  // wraps
+}
+
+TEST(TdmSchedule, WeightedBuilder) {
+  const auto schedule = TdmSchedule::weighted({1, 2}, 50);
+  EXPECT_FALSE(schedule.is_one_slot_tdm());
+  EXPECT_EQ(schedule.slots_per_period(), 3);
+  EXPECT_EQ(schedule.owner_of_slot(1), CoreId{1});
+  EXPECT_EQ(schedule.owner_of_slot(2), CoreId{1});
+}
+
+TEST(TdmSchedule, RejectsCoreWithNoSlot) {
+  // Core 1 missing (ids must be dense).
+  EXPECT_THROW(TdmSchedule::from_slots({CoreId{0}, CoreId{2}}, 50),
+               ConfigError);
+  EXPECT_THROW(TdmSchedule::one_slot(0, 50), ConfigError);
+  EXPECT_THROW(TdmSchedule::one_slot(2, 0), ConfigError);
+}
+
+TEST(TdmSchedule, SlotTimingHelpers) {
+  const auto schedule = TdmSchedule::one_slot(2, 100);
+  EXPECT_EQ(schedule.slot_at(0), 0);
+  EXPECT_EQ(schedule.slot_at(99), 0);
+  EXPECT_EQ(schedule.slot_at(100), 1);
+  EXPECT_EQ(schedule.slot_start(3), 300);
+  EXPECT_EQ(schedule.next_slot_of(CoreId{1}, 0), 1);
+  EXPECT_EQ(schedule.next_slot_of(CoreId{0}, 1), 2);
+  EXPECT_EQ(schedule.next_slot_of(CoreId{0}, 2), 2);
+}
+
+// --- distance (Definition 4.2) -----------------------------------------------
+
+TEST(TdmSchedule, PaperDistanceExamples) {
+  // Figure 3: schedule {cua, c2, c3, c4}; d_{c3->cua} = 2, d_{c4->cua} = 1.
+  const auto schedule = TdmSchedule::one_slot(4, 50);
+  const CoreId cua{0};
+  EXPECT_EQ(schedule.distance(CoreId{2}, cua), 2);
+  EXPECT_EQ(schedule.distance(CoreId{3}, cua), 1);
+  // Figure 4: d_{c2->c1} = 3.
+  EXPECT_EQ(schedule.distance(CoreId{1}, cua), 3);
+  // Maximal distance n for the core itself.
+  EXPECT_EQ(schedule.distance(cua, cua), 4);
+}
+
+TEST(TdmSchedule, DistanceRequiresOneSlotTdm) {
+  const auto schedule = TdmSchedule::weighted({1, 2}, 50);
+  EXPECT_THROW((void)schedule.distance(CoreId{0}, CoreId{1}), AssertionError);
+}
+
+// Corollary 4.3 as a property over all N and core pairs.
+class DistanceBounds : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistanceBounds, WithinOneToN) {
+  const int n = GetParam();
+  const auto schedule = TdmSchedule::one_slot(n, 50);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      const int d = schedule.distance(CoreId{i}, CoreId{j});
+      EXPECT_GE(d, 1);
+      EXPECT_LE(d, n);
+      if (i == j) {
+        EXPECT_EQ(d, n);
+      }
+    }
+  }
+  // Distances from a fixed core to all others are a permutation of 1..N.
+  for (int i = 0; i < n; ++i) {
+    std::vector<bool> seen(static_cast<std::size_t>(n) + 1, false);
+    for (int j = 0; j < n; ++j) {
+      seen[static_cast<std::size_t>(
+          schedule.distance(CoreId{i}, CoreId{j}))] = true;
+    }
+    for (int d = 1; d <= n; ++d) {
+      EXPECT_TRUE(seen[static_cast<std::size_t>(d)]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(N, DistanceBounds, ::testing::Values(1, 2, 3, 4, 8),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+TEST(TdmSchedule, SharerDistanceRanksWithinSubset) {
+  const auto schedule = TdmSchedule::one_slot(4, 50);
+  // Sharers {c0, c2}: from c2 to c0 is 1 sharer-step; c0 to itself is 2.
+  const std::vector<CoreId> sharers{CoreId{0}, CoreId{2}};
+  EXPECT_EQ(schedule.sharer_distance(CoreId{2}, CoreId{0}, sharers), 1);
+  EXPECT_EQ(schedule.sharer_distance(CoreId{0}, CoreId{2}, sharers), 1);
+  EXPECT_EQ(schedule.sharer_distance(CoreId{0}, CoreId{0}, sharers), 2);
+  // With all cores sharing, sharer distance equals Definition 4.2 distance.
+  const std::vector<CoreId> all{CoreId{0}, CoreId{1}, CoreId{2}, CoreId{3}};
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_EQ(schedule.sharer_distance(CoreId{i}, CoreId{j}, all),
+                schedule.distance(CoreId{i}, CoreId{j}));
+    }
+  }
+}
+
+// --- PRB / PWB ------------------------------------------------------------------
+
+BusMessage request_msg(LineAddr line, Cycle at) {
+  BusMessage msg;
+  msg.kind = MessageKind::kRequest;
+  msg.source = CoreId{0};
+  msg.line = line;
+  msg.enqueued_at = at;
+  return msg;
+}
+
+BusMessage wb_msg(LineAddr line, Cycle at, bool frees = false) {
+  BusMessage msg;
+  msg.kind = MessageKind::kWriteBack;
+  msg.source = CoreId{0};
+  msg.line = line;
+  msg.enqueued_at = at;
+  msg.frees_llc_entry = frees;
+  return msg;
+}
+
+TEST(PendingBuffers, SingleOutstandingRequestEnforced) {
+  PendingBuffers buffers(4);
+  buffers.set_request(request_msg(0x1, 0));
+  EXPECT_THROW(buffers.set_request(request_msg(0x2, 0)), AssertionError);
+  buffers.clear_request();
+  EXPECT_THROW(buffers.clear_request(), AssertionError);
+}
+
+TEST(PendingBuffers, PickAlternatesUnderBacklog) {
+  PendingBuffers buffers(4);
+  buffers.set_request(request_msg(0x1, 0));
+  buffers.push_writeback(wb_msg(0x2, 0));
+  buffers.push_writeback(wb_msg(0x3, 0));
+  // Default preference: request first, then strict alternation.
+  EXPECT_EQ(buffers.pick(100), PendingBuffers::Pick::kRequest);
+  EXPECT_EQ(buffers.pick(100), PendingBuffers::Pick::kWriteBack);
+  buffers.pop_writeback();
+  EXPECT_EQ(buffers.pick(100), PendingBuffers::Pick::kRequest);
+  EXPECT_EQ(buffers.pick(100), PendingBuffers::Pick::kWriteBack);
+}
+
+TEST(PendingBuffers, SoleSourceYieldsPreferenceToOther) {
+  PendingBuffers buffers(4);
+  buffers.set_request(request_msg(0x1, 0));
+  EXPECT_EQ(buffers.pick(100), PendingBuffers::Pick::kRequest);
+  // A write-back arriving now wins the next tie (the private-partition
+  // critical path relies on this).
+  buffers.push_writeback(wb_msg(0x2, 50));
+  EXPECT_EQ(buffers.pick(100), PendingBuffers::Pick::kWriteBack);
+}
+
+TEST(PendingBuffers, EligibilityByEnqueueTime) {
+  PendingBuffers buffers(4);
+  buffers.set_request(request_msg(0x1, 120));
+  EXPECT_EQ(buffers.pick(100), PendingBuffers::Pick::kNone);
+  EXPECT_EQ(buffers.pick(120), PendingBuffers::Pick::kRequest);
+  PendingBuffers wb_only(4);
+  wb_only.push_writeback(wb_msg(0x2, 130));
+  EXPECT_EQ(wb_only.pick(100), PendingBuffers::Pick::kNone);
+  EXPECT_EQ(wb_only.pick(150), PendingBuffers::Pick::kWriteBack);
+}
+
+TEST(PendingBuffers, UpgradeToForced) {
+  PendingBuffers buffers(4);
+  buffers.push_writeback(wb_msg(0x5, 0));
+  EXPECT_TRUE(buffers.has_writeback_for(0x5));
+  EXPECT_TRUE(buffers.upgrade_writeback_to_forced(0x5));
+  EXPECT_FALSE(buffers.upgrade_writeback_to_forced(0x9));
+  const BusMessage msg = buffers.pop_writeback();
+  EXPECT_TRUE(msg.frees_llc_entry);
+}
+
+TEST(PendingBuffers, CancelOnlyVoluntaryWritebacks) {
+  PendingBuffers buffers(4);
+  buffers.push_writeback(wb_msg(0x5, 0, /*frees=*/true));
+  EXPECT_FALSE(buffers.cancel_writeback(0x5).has_value())
+      << "freeing write-backs must not be cancellable";
+  PendingBuffers voluntary(4);
+  voluntary.push_writeback(wb_msg(0x6, 0));
+  const auto cancelled = voluntary.cancel_writeback(0x6);
+  ASSERT_TRUE(cancelled.has_value());
+  EXPECT_EQ(cancelled->line, 0x6u);
+  EXPECT_FALSE(voluntary.has_writeback());
+}
+
+TEST(PendingBuffers, RejectsDuplicateWriteback) {
+  PendingBuffers buffers(4);
+  buffers.push_writeback(wb_msg(0x5, 0));
+  EXPECT_THROW(buffers.push_writeback(wb_msg(0x5, 10)), AssertionError);
+}
+
+TEST(PendingBuffers, PwbCapacityEnforced) {
+  PendingBuffers buffers(2);
+  buffers.push_writeback(wb_msg(0x1, 0));
+  buffers.push_writeback(wb_msg(0x2, 0));
+  EXPECT_THROW(buffers.push_writeback(wb_msg(0x3, 0)), AssertionError);
+}
+
+}  // namespace
+}  // namespace psllc::bus

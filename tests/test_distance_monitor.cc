@@ -1,0 +1,115 @@
+// Property tests for the paper's observations (Section 4.3) validated by
+// the DistanceMonitor on live simulations:
+//  * Observation 1 / Lemma 4.4 — no distance increase without a cua
+//    write-back (checked for every core as cua, over random conflict-heavy
+//    NSS and SS workloads).
+//  * Observation 3 / Lemma 4.6 — increases do occur after cua write-backs
+//    (witnessed under contention).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/distance_monitor.h"
+#include "core/system.h"
+#include "sim/workload.h"
+
+namespace psllc::core {
+namespace {
+
+struct MonitorParam {
+  std::string notation;
+  std::uint64_t seed;
+};
+
+class ObservationsHold : public ::testing::TestWithParam<MonitorParam> {};
+
+TEST_P(ObservationsHold, NoDistanceIncreaseWithoutCuaWriteback) {
+  const auto& param = GetParam();
+  const ExperimentSetup setup = make_paper_setup(param.notation, 4);
+  System system(setup);
+  std::vector<std::unique_ptr<DistanceMonitor>> monitors;
+  for (int c = 0; c < 4; ++c) {
+    monitors.push_back(std::make_unique<DistanceMonitor>(system, CoreId{c}));
+    DistanceMonitor* monitor = monitors.back().get();
+    system.add_slot_observer(
+        [monitor](const SlotEvent& event) { monitor->on_slot(event); });
+  }
+  sim::RandomWorkloadOptions workload;
+  workload.range_bytes = 8192;
+  workload.accesses = 3000;
+  workload.write_fraction = 0.4;
+  const auto traces =
+      sim::make_disjoint_random_workload(4, workload, param.seed);
+  for (int c = 0; c < 4; ++c) {
+    system.set_trace(CoreId{c}, traces[static_cast<std::size_t>(c)]);
+  }
+  const auto result = system.run(500'000'000);
+  ASSERT_TRUE(result.all_done);
+
+  std::int64_t total_windows = 0;
+  for (int c = 0; c < 4; ++c) {
+    const auto& monitor = *monitors[static_cast<std::size_t>(c)];
+    EXPECT_TRUE(monitor.violations().empty())
+        << "cua=c" << c << ": " << monitor.violations().size()
+        << " Lemma 4.4 violations, first at slot start "
+        << (monitor.violations().empty()
+                ? -1
+                : monitor.violations().front().slot_start);
+    total_windows += monitor.windows_checked();
+  }
+  // The property must have been exercised, not vacuously true.
+  EXPECT_GT(total_windows, 100);
+}
+
+// NSS configurations only: Lemma 4.4 is proven for the plain 1S-TDM
+// analysis (no sequencer). Under SS, a free entry legally survives cua's
+// slot when cua is not at the head of the set queue, and the head core may
+// sit farther in the schedule — the sequencer's FIFO guarantee replaces the
+// distance argument there (covered by test_llc's ordering tests).
+INSTANTIATE_TEST_SUITE_P(
+    Configs, ObservationsHold,
+    ::testing::Values(MonitorParam{"NSS(1,2,4)", 1},
+                      MonitorParam{"NSS(1,4,4)", 2},
+                      MonitorParam{"NSS(2,2,4)", 3},
+                      MonitorParam{"NSS(1,2,4)", 4},
+                      MonitorParam{"NSS(2,4,4)", 5}),
+    [](const ::testing::TestParamInfo<MonitorParam>& info) {
+      std::string name = info.param.notation + "_s" +
+                         std::to_string(info.param.seed);
+      for (char& ch : name) {
+        if (ch == '(' || ch == ')' || ch == ',') {
+          ch = '_';
+        }
+      }
+      return name;
+    });
+
+TEST(Observation3, IncreasesWitnessedUnderBestEffortContention) {
+  const ExperimentSetup setup = make_paper_setup("NSS(1,2,4)", 4);
+  System system(setup);
+  std::vector<std::unique_ptr<DistanceMonitor>> monitors;
+  for (int c = 0; c < 4; ++c) {
+    monitors.push_back(std::make_unique<DistanceMonitor>(system, CoreId{c}));
+    DistanceMonitor* monitor = monitors.back().get();
+    system.add_slot_observer(
+        [monitor](const SlotEvent& event) { monitor->on_slot(event); });
+  }
+  sim::RandomWorkloadOptions workload;
+  workload.range_bytes = 8192;
+  workload.accesses = 5000;
+  workload.write_fraction = 0.5;
+  const auto traces = sim::make_disjoint_random_workload(4, workload, 17);
+  for (int c = 0; c < 4; ++c) {
+    system.set_trace(CoreId{c}, traces[static_cast<std::size_t>(c)]);
+  }
+  ASSERT_TRUE(system.run(500'000'000).all_done);
+  std::int64_t witnessed = 0;
+  for (const auto& monitor : monitors) {
+    witnessed += monitor->increases_after_writeback();
+  }
+  EXPECT_GT(witnessed, 0)
+      << "Observation 3 increases should occur under heavy conflict";
+}
+
+}  // namespace
+}  // namespace psllc::core

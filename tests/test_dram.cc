@@ -1,0 +1,59 @@
+// DRAM model tests: fixed latency mode and the optional row-buffer mode.
+#include <gtest/gtest.h>
+
+#include "common/assert.h"
+#include "mem/dram.h"
+
+namespace psllc::mem {
+namespace {
+
+TEST(Dram, FixedLatencyMode) {
+  DramConfig config;
+  config.fixed_latency = 25;
+  Dram dram(config);
+  EXPECT_EQ(dram.read(0x10), 25);
+  EXPECT_EQ(dram.write(0x20), 25);
+  EXPECT_EQ(dram.reads(), 1);
+  EXPECT_EQ(dram.writes(), 1);
+  EXPECT_EQ(config.worst_case_latency(), 25);
+}
+
+TEST(Dram, RowBufferHitsAndMisses) {
+  DramConfig config;
+  config.model_row_buffer = true;
+  config.num_banks = 2;
+  config.row_bytes = 2048;
+  config.row_hit_latency = 10;
+  config.row_miss_latency = 40;
+  Dram dram(config);
+  // First access to a row: miss; the second to the same row: hit.
+  EXPECT_EQ(dram.read(0), 40);
+  EXPECT_EQ(dram.read(1), 10);  // same 2 KiB row
+  // A line in a different row of the same bank: miss again.
+  const LineAddr far_line = (2048 / 64) * 2;  // skips to the bank's next row
+  EXPECT_EQ(dram.read(far_line), 40);
+  EXPECT_EQ(dram.row_hits(), 1);
+  EXPECT_EQ(dram.row_misses(), 2);
+  EXPECT_EQ(config.worst_case_latency(), 40);
+}
+
+TEST(Dram, ConfigValidation) {
+  DramConfig config;
+  config.fixed_latency = 0;
+  EXPECT_THROW(Dram{config}, ConfigError);
+  config = DramConfig{};
+  config.line_bytes = 100;  // not a power of two
+  EXPECT_THROW(Dram{config}, ConfigError);
+  config = DramConfig{};
+  config.model_row_buffer = true;
+  config.row_bytes = 32;  // smaller than a line
+  EXPECT_THROW(Dram{config}, ConfigError);
+  config = DramConfig{};
+  config.model_row_buffer = true;
+  config.row_hit_latency = 50;
+  config.row_miss_latency = 40;  // hit > miss
+  EXPECT_THROW(Dram{config}, ConfigError);
+}
+
+}  // namespace
+}  // namespace psllc::mem

@@ -1,0 +1,372 @@
+// Tests for the partitioned inclusive LLC: partitions, directory, set
+// sequencer, and the PartitionedLlc request/write-back protocol.
+#include <gtest/gtest.h>
+
+#include "common/assert.h"
+#include "llc/llc.h"
+
+namespace psllc::llc {
+namespace {
+
+// --- PartitionSpec / PartitionMap -------------------------------------------
+
+TEST(PartitionSpec, OverlapDetection) {
+  const PartitionSpec a{0, 4, 0, 2};
+  const PartitionSpec b{4, 4, 0, 2};   // disjoint sets
+  const PartitionSpec c{0, 4, 2, 2};   // disjoint ways
+  const PartitionSpec d{2, 4, 1, 2};   // overlaps a
+  EXPECT_FALSE(a.overlaps(b));
+  EXPECT_FALSE(a.overlaps(c));
+  EXPECT_TRUE(a.overlaps(d));
+  EXPECT_TRUE(d.overlaps(a));
+}
+
+TEST(PartitionSpec, MapSetIsModuloWithinRectangle) {
+  const PartitionSpec spec{8, 4, 0, 2};
+  EXPECT_EQ(spec.map_set(0), 8);
+  EXPECT_EQ(spec.map_set(3), 11);
+  EXPECT_EQ(spec.map_set(4), 8);
+  EXPECT_EQ(spec.capacity_lines(), 8);
+}
+
+TEST(PartitionSpec, ValidatesAgainstGeometry) {
+  const mem::CacheGeometry geometry{32, 16, 64};
+  EXPECT_NO_THROW((PartitionSpec{0, 32, 0, 16}).validate(geometry));
+  EXPECT_THROW((PartitionSpec{0, 33, 0, 16}).validate(geometry), ConfigError);
+  EXPECT_THROW((PartitionSpec{0, 32, 15, 2}).validate(geometry), ConfigError);
+  EXPECT_THROW((PartitionSpec{0, 0, 0, 1}).validate(geometry), ConfigError);
+}
+
+TEST(PartitionMap, RejectsOverlapAndDoubleMembership) {
+  const mem::CacheGeometry geometry{32, 16, 64};
+  PartitionMap map(geometry);
+  map.add_partition(PartitionSpec{0, 4, 0, 4}, {CoreId{0}});
+  EXPECT_THROW(map.add_partition(PartitionSpec{2, 4, 2, 4}, {CoreId{1}}),
+               ConfigError);
+  EXPECT_THROW(map.add_partition(PartitionSpec{8, 4, 0, 4}, {CoreId{0}}),
+               ConfigError);
+  EXPECT_THROW(
+      map.add_partition(PartitionSpec{8, 4, 0, 4}, {CoreId{1}, CoreId{1}}),
+      ConfigError);
+}
+
+TEST(PartitionMap, LookupAndSharerCounts) {
+  const mem::CacheGeometry geometry{32, 16, 64};
+  PartitionMap map(geometry);
+  const int shared = map.add_partition(PartitionSpec{0, 4, 0, 4},
+                                       {CoreId{0}, CoreId{1}});
+  const int own = map.add_partition(PartitionSpec{4, 4, 0, 4}, {CoreId{2}});
+  EXPECT_EQ(map.partition_of(CoreId{0}), shared);
+  EXPECT_EQ(map.partition_of(CoreId{1}), shared);
+  EXPECT_EQ(map.partition_of(CoreId{2}), own);
+  EXPECT_EQ(map.partition_of(CoreId{3}), -1);
+  EXPECT_EQ(map.sharer_count_of(CoreId{0}), 2);
+  EXPECT_EQ(map.sharer_count_of(CoreId{2}), 1);
+  EXPECT_THROW(map.validate_covers_cores(4), ConfigError);
+  EXPECT_NO_THROW(map.validate_covers_cores(3));
+}
+
+TEST(PartitionBuilders, PaperNotationShapes) {
+  const mem::CacheGeometry geometry{32, 16, 64};
+  // P(8,2) x 4 cores: tiled across sets.
+  const PartitionMap p = make_private_partitions(geometry, 4, 8, 2);
+  EXPECT_EQ(p.num_partitions(), 4);
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_EQ(p.sharer_count_of(CoreId{c}), 1);
+  }
+  EXPECT_EQ(p.spec(0).first_set, 0);
+  EXPECT_EQ(p.spec(1).first_set, 8);
+  EXPECT_EQ(p.spec(3).first_set, 24);
+  // P(1,2) x 4: distinct sets, same ways.
+  const PartitionMap tiny = make_private_partitions(geometry, 4, 1, 2);
+  EXPECT_EQ(tiny.spec(2).first_set, 2);
+  EXPECT_EQ(tiny.spec(2).first_way, 0);
+  // SS(32,4,2).
+  const PartitionMap shared = make_shared_partition(
+      geometry, {CoreId{0}, CoreId{1}}, 32, 4);
+  EXPECT_EQ(shared.num_partitions(), 1);
+  EXPECT_EQ(shared.sharer_count_of(CoreId{1}), 2);
+  // Too many cores to tile: P(32,16) x 2 does not fit.
+  EXPECT_THROW(make_private_partitions(geometry, 2, 32, 16), ConfigError);
+}
+
+// --- InclusiveDirectory --------------------------------------------------------
+
+TEST(Directory, AddRemoveSharers) {
+  InclusiveDirectory directory;
+  directory.add_sharer(0x1, CoreId{0});
+  directory.add_sharer(0x1, CoreId{2});
+  EXPECT_EQ(directory.sharer_count(0x1), 2);
+  EXPECT_TRUE(directory.is_shared_by(0x1, CoreId{2}));
+  EXPECT_FALSE(directory.is_shared_by(0x1, CoreId{1}));
+  EXPECT_TRUE(directory.remove_sharer(0x1, CoreId{0}));
+  EXPECT_FALSE(directory.remove_sharer(0x1, CoreId{0}));
+  EXPECT_EQ(directory.sharer_count(0x1), 1);
+  directory.clear_line(0x1);
+  EXPECT_EQ(directory.sharer_count(0x1), 0);
+  EXPECT_EQ(directory.tracked_lines(), 0);
+}
+
+TEST(Directory, DuplicateAddAsserts) {
+  InclusiveDirectory directory;
+  directory.add_sharer(0x1, CoreId{0});
+  EXPECT_THROW(directory.add_sharer(0x1, CoreId{0}), AssertionError);
+}
+
+// --- SetSequencer ----------------------------------------------------------------
+
+TEST(SetSequencer, FifoOrderPerSet) {
+  SetSequencer seq(4, 4);
+  const SetKey key{0, 5};
+  seq.enqueue(key, CoreId{2});
+  seq.enqueue(key, CoreId{0});
+  seq.enqueue(key, CoreId{3});
+  EXPECT_TRUE(seq.is_head(key, CoreId{2}));
+  EXPECT_FALSE(seq.is_head(key, CoreId{0}));
+  EXPECT_EQ(seq.position(key, CoreId{3}), 2);
+  EXPECT_EQ(seq.queue_length(key), 3);
+  seq.dequeue_head(key, CoreId{2});
+  EXPECT_TRUE(seq.is_head(key, CoreId{0}));
+}
+
+TEST(SetSequencer, IndependentQueuesPerSetKey) {
+  SetSequencer seq(4, 4);
+  const SetKey a{0, 1};
+  const SetKey b{0, 2};
+  const SetKey c{1, 1};  // same physical set, different partition
+  seq.enqueue(a, CoreId{0});
+  seq.enqueue(b, CoreId{1});
+  seq.enqueue(c, CoreId{2});
+  EXPECT_EQ(seq.active_queues(), 3);
+  EXPECT_TRUE(seq.is_head(a, CoreId{0}));
+  EXPECT_TRUE(seq.is_head(b, CoreId{1}));
+  EXPECT_TRUE(seq.is_head(c, CoreId{2}));
+}
+
+TEST(SetSequencer, QueueReleasedWhenEmpty) {
+  SetSequencer seq(2, 2);
+  const SetKey a{0, 1};
+  seq.enqueue(a, CoreId{0});
+  seq.dequeue_head(a, CoreId{0});
+  EXPECT_EQ(seq.active_queues(), 0);
+  EXPECT_FALSE(seq.has_queue(a));
+  // The released queue is reusable for other sets.
+  seq.enqueue(SetKey{0, 2}, CoreId{1});
+  seq.enqueue(SetKey{0, 3}, CoreId{0});
+  EXPECT_EQ(seq.active_queues(), 2);
+}
+
+TEST(SetSequencer, RemoveFromMiddle) {
+  SetSequencer seq(2, 4);
+  const SetKey key{0, 0};
+  seq.enqueue(key, CoreId{0});
+  seq.enqueue(key, CoreId{1});
+  seq.enqueue(key, CoreId{2});
+  seq.remove(key, CoreId{1});
+  EXPECT_EQ(seq.queue_length(key), 2);
+  EXPECT_TRUE(seq.is_head(key, CoreId{0}));
+  EXPECT_EQ(seq.position(key, CoreId{2}), 1);
+}
+
+TEST(SetSequencer, HardwareCapacityAsserts) {
+  SetSequencer seq(1, 2);
+  seq.enqueue(SetKey{0, 0}, CoreId{0});
+  // Second distinct set: QLT full.
+  EXPECT_THROW(seq.enqueue(SetKey{0, 1}, CoreId{1}), AssertionError);
+  // Queue depth full.
+  seq.enqueue(SetKey{0, 0}, CoreId{1});
+  EXPECT_THROW(seq.enqueue(SetKey{0, 0}, CoreId{2}), AssertionError);
+  // Double enqueue of the same core.
+  EXPECT_THROW(seq.enqueue(SetKey{0, 0}, CoreId{0}), AssertionError);
+  // Dequeue of a non-head core.
+  EXPECT_THROW(seq.dequeue_head(SetKey{0, 0}, CoreId{1}), AssertionError);
+}
+
+// --- PartitionedLlc ---------------------------------------------------------------
+
+struct LlcHarness {
+  LlcConfig config;
+  mem::Dram dram;
+  PartitionedLlc llc;
+
+  LlcHarness(ContentionMode mode, int sets, int ways, int sharers,
+             LlcConfig base = LlcConfig{})
+      : config(base),
+        dram(mem::DramConfig{}),
+        llc(config, make_map(config, sets, ways, sharers), mode, 4, dram) {}
+
+  static PartitionMap make_map(const LlcConfig& config, int sets, int ways,
+                               int sharers) {
+    std::vector<CoreId> cores;
+    for (int c = 0; c < sharers; ++c) {
+      cores.emplace_back(c);
+    }
+    return make_shared_partition(config.geometry, cores, sets, ways);
+  }
+};
+
+TEST(PartitionedLlc, MissFillsAndHits) {
+  LlcHarness h(ContentionMode::kBestEffort, 4, 2, 2);
+  const auto miss = h.llc.handle_request(CoreId{0}, 0x10, 0);
+  EXPECT_EQ(miss.status, RequestOutcome::Status::kFilled);
+  EXPECT_TRUE(h.llc.directory().is_shared_by(0x10, CoreId{0}));
+  const auto hit = h.llc.handle_request(CoreId{0}, 0x10, 50);
+  EXPECT_EQ(hit.status, RequestOutcome::Status::kHit);
+  EXPECT_EQ(h.llc.stats().fills, 1);
+  EXPECT_EQ(h.llc.stats().hit_presentations, 1);
+}
+
+TEST(PartitionedLlc, FullSetWithOwnedVictimBlocksAndBackInvalidates) {
+  LlcHarness h(ContentionMode::kBestEffort, 1, 2, 2);
+  h.llc.preload(0x1, {CoreId{1}}, false);
+  h.llc.preload(0x3, {CoreId{1}}, false);
+  const auto blocked = h.llc.handle_request(CoreId{0}, 0x5, 0);
+  EXPECT_EQ(blocked.status, RequestOutcome::Status::kBlocked);
+  ASSERT_TRUE(blocked.back_invalidation.has_value());
+  EXPECT_EQ(blocked.back_invalidation->line, 0x1u);  // LRU victim
+  ASSERT_EQ(blocked.back_invalidation->owners.size(), 1u);
+  EXPECT_EQ(blocked.back_invalidation->owners[0], CoreId{1});
+  EXPECT_TRUE(h.llc.has_pending_request(CoreId{0}));
+  // Retry before the write-back: still blocked, no *new* eviction (supply
+  // covers demand).
+  const auto retry = h.llc.handle_request(CoreId{0}, 0x5, 200);
+  EXPECT_EQ(retry.status, RequestOutcome::Status::kBlocked);
+  EXPECT_FALSE(retry.back_invalidation.has_value());
+  // Freeing write-back arrives; the retry now fills.
+  const auto wb = h.llc.handle_writeback(CoreId{1}, 0x1, false, true, 250);
+  EXPECT_TRUE(wb.freed_entry);
+  const auto filled = h.llc.handle_request(CoreId{0}, 0x5, 400);
+  EXPECT_EQ(filled.status, RequestOutcome::Status::kFilled);
+  EXPECT_FALSE(h.llc.has_pending_request(CoreId{0}));
+  h.llc.check_invariants();
+}
+
+TEST(PartitionedLlc, UnownedVictimFreesWithinTheSlot) {
+  LlcHarness h(ContentionMode::kBestEffort, 1, 2, 2);
+  h.llc.preload(0x1, {}, false);  // no private copies
+  h.llc.preload(0x3, {}, true);   // dirty, unowned
+  const auto outcome = h.llc.handle_request(CoreId{0}, 0x5, 0);
+  EXPECT_EQ(outcome.status, RequestOutcome::Status::kFilled)
+      << "an unowned victim must not cost extra slots";
+  EXPECT_EQ(h.llc.stats().immediate_frees, 1);
+}
+
+TEST(PartitionedLlc, SequencerEnforcesArrivalOrder) {
+  LlcHarness h(ContentionMode::kSetSequencer, 1, 2, 3);
+  h.llc.preload(0x1, {CoreId{2}}, false);
+  h.llc.preload(0x3, {CoreId{2}}, false);
+  // c0 then c1 block on the same set.
+  (void)h.llc.handle_request(CoreId{0}, 0x5, 0);
+  (void)h.llc.handle_request(CoreId{1}, 0x7, 50);
+  EXPECT_TRUE(h.llc.sequencer().is_head(h.llc.key_for(CoreId{0}, 0x5),
+                                        CoreId{0}));
+  // The victim's write-back frees an entry; c1 retries first but is not at
+  // the head -> still blocked.
+  (void)h.llc.handle_writeback(CoreId{2}, 0x1, false, true, 100);
+  const auto c1_retry = h.llc.handle_request(CoreId{1}, 0x7, 150);
+  EXPECT_EQ(c1_retry.status, RequestOutcome::Status::kBlocked);
+  // c0 (head) takes it.
+  const auto c0_retry = h.llc.handle_request(CoreId{0}, 0x5, 200);
+  EXPECT_EQ(c0_retry.status, RequestOutcome::Status::kFilled);
+  // Now c1 is head; the second eviction (triggered at c1's first blocked
+  // presentation) eventually frees the other way.
+  (void)h.llc.handle_writeback(CoreId{2}, 0x3, false, true, 250);
+  const auto c1_fill = h.llc.handle_request(CoreId{1}, 0x7, 300);
+  EXPECT_EQ(c1_fill.status, RequestOutcome::Status::kFilled);
+  h.llc.check_invariants();
+}
+
+TEST(PartitionedLlc, BestEffortAllowsStealAndCountsIt) {
+  LlcHarness h(ContentionMode::kBestEffort, 1, 2, 3);
+  h.llc.preload(0x1, {CoreId{2}}, false);
+  h.llc.preload(0x3, {CoreId{2}}, false);
+  (void)h.llc.handle_request(CoreId{0}, 0x5, 0);   // older waiter
+  (void)h.llc.handle_request(CoreId{1}, 0x7, 50);  // younger waiter
+  (void)h.llc.handle_writeback(CoreId{2}, 0x1, false, true, 100);
+  const auto steal = h.llc.handle_request(CoreId{1}, 0x7, 150);
+  EXPECT_EQ(steal.status, RequestOutcome::Status::kFilled);
+  EXPECT_EQ(h.llc.stats().steals, 1);
+}
+
+TEST(PartitionedLlc, VoluntaryWritebackMergesDirtyData) {
+  LlcHarness h(ContentionMode::kBestEffort, 4, 2, 2);
+  (void)h.llc.handle_request(CoreId{0}, 0x10, 0);
+  const auto wb = h.llc.handle_writeback(CoreId{0}, 0x10, true, false, 100);
+  EXPECT_FALSE(wb.freed_entry);
+  const int way = h.llc.find_way(CoreId{0}, 0x10);
+  ASSERT_GE(way, 0);
+  const auto entry = h.llc.entry(h.llc.key_for(CoreId{0}, 0x10).physical_set,
+                                 way);
+  EXPECT_TRUE(entry.dirty);
+  EXPECT_TRUE(entry.sharers.empty());
+  h.llc.check_invariants();
+}
+
+TEST(PartitionedLlc, MultiSharerBackInvalidationNeedsAllAcks) {
+  LlcHarness h(ContentionMode::kBestEffort, 1, 2, 3);
+  h.llc.preload(0x1, {CoreId{1}, CoreId{2}}, false);
+  h.llc.preload(0x3, {CoreId{1}}, false);
+  const auto blocked = h.llc.handle_request(CoreId{0}, 0x5, 0);
+  ASSERT_TRUE(blocked.back_invalidation.has_value());
+  EXPECT_EQ(blocked.back_invalidation->owners.size(), 2u);
+  EXPECT_FALSE(
+      h.llc.handle_writeback(CoreId{1}, 0x1, false, true, 50).freed_entry);
+  EXPECT_TRUE(
+      h.llc.handle_writeback(CoreId{2}, 0x1, false, true, 100).freed_entry);
+  h.llc.check_invariants();
+}
+
+TEST(PartitionedLlc, PendingLineExcludedFromHits) {
+  LlcHarness h(ContentionMode::kBestEffort, 1, 2, 3);
+  h.llc.preload(0x1, {CoreId{2}}, false);
+  h.llc.preload(0x3, {CoreId{2}}, false);
+  // c0's miss selects 0x1 as victim (pending invalidation).
+  (void)h.llc.handle_request(CoreId{0}, 0x5, 0);
+  // c1 requests the very line being evicted: must be treated as a miss.
+  const auto outcome = h.llc.handle_request(CoreId{1}, 0x1, 50);
+  EXPECT_EQ(outcome.status, RequestOutcome::Status::kBlocked);
+  h.llc.check_invariants();
+}
+
+TEST(PartitionedLlc, SilentEvictionKeepsLineDropsSharer) {
+  LlcHarness h(ContentionMode::kBestEffort, 4, 2, 2);
+  (void)h.llc.handle_request(CoreId{0}, 0x10, 0);
+  h.llc.notify_silent_eviction(CoreId{0}, 0x10);
+  EXPECT_GE(h.llc.find_way(CoreId{0}, 0x10), 0);
+  EXPECT_EQ(h.llc.directory().sharer_count(0x10), 0);
+  EXPECT_THROW(h.llc.notify_silent_eviction(CoreId{0}, 0x10),
+               AssertionError);
+}
+
+TEST(PartitionedLlc, RetryWithDifferentLineAsserts) {
+  LlcHarness h(ContentionMode::kBestEffort, 1, 1, 2);
+  h.llc.preload(0x1, {CoreId{1}}, false);
+  (void)h.llc.handle_request(CoreId{0}, 0x3, 0);
+  EXPECT_THROW(h.llc.handle_request(CoreId{0}, 0x5, 50), AssertionError);
+}
+
+TEST(PartitionedLlc, DropPendingRequestCleansSequencer) {
+  LlcHarness h(ContentionMode::kSetSequencer, 1, 1, 2);
+  h.llc.preload(0x1, {CoreId{1}}, false);
+  (void)h.llc.handle_request(CoreId{0}, 0x3, 0);
+  EXPECT_TRUE(h.llc.has_pending_request(CoreId{0}));
+  h.llc.drop_pending_request(CoreId{0});
+  EXPECT_FALSE(h.llc.has_pending_request(CoreId{0}));
+  EXPECT_EQ(h.llc.sequencer().active_queues(), 0);
+  h.llc.check_invariants();
+}
+
+TEST(PartitionedLlc, RejectsMismatchedPartitionGeometry) {
+  LlcConfig config;
+  mem::DramConfig dram_config;
+  mem::Dram dram(dram_config);
+  PartitionMap map(mem::CacheGeometry{16, 16, 64});  // wrong set count
+  map.add_partition(PartitionSpec{0, 1, 0, 1}, {CoreId{0}});
+  EXPECT_THROW(
+      PartitionedLlc(config, std::move(map), ContentionMode::kBestEffort, 1,
+                     dram),
+      ConfigError);
+}
+
+}  // namespace
+}  // namespace psllc::llc

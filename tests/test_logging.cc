@@ -1,0 +1,79 @@
+// Logger tests: level filtering and sink capture (scoped, so other tests'
+// logging behaviour is unaffected).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/log.h"
+
+namespace psllc {
+namespace {
+
+class ScopedSink {
+ public:
+  ScopedSink() {
+    previous_level_ = Logger::instance().level();
+    previous_ = Logger::instance().set_sink(
+        [this](LogLevel level, const std::string& message) {
+          entries_.emplace_back(level, message);
+        });
+  }
+  ~ScopedSink() {
+    Logger::instance().set_sink(previous_);
+    Logger::instance().set_level(previous_level_);
+  }
+  [[nodiscard]] const std::vector<std::pair<LogLevel, std::string>>& entries()
+      const {
+    return entries_;
+  }
+
+ private:
+  Logger::Sink previous_;
+  LogLevel previous_level_;
+  std::vector<std::pair<LogLevel, std::string>> entries_;
+};
+
+TEST(Logger, LevelFiltering) {
+  ScopedSink sink;
+  Logger::instance().set_level(LogLevel::kWarn);
+  PSLLC_DEBUG("hidden " << 1);
+  PSLLC_INFO("hidden too");
+  PSLLC_WARN("visible " << 2);
+  PSLLC_ERROR("also visible");
+  ASSERT_EQ(sink.entries().size(), 2u);
+  EXPECT_EQ(sink.entries()[0].first, LogLevel::kWarn);
+  EXPECT_EQ(sink.entries()[0].second, "visible 2");
+  EXPECT_EQ(sink.entries()[1].first, LogLevel::kError);
+}
+
+TEST(Logger, TraceLevelEnablesEverything) {
+  ScopedSink sink;
+  Logger::instance().set_level(LogLevel::kTrace);
+  PSLLC_TRACE("t");
+  PSLLC_DEBUG("d");
+  EXPECT_EQ(sink.entries().size(), 2u);
+}
+
+TEST(Logger, OffSilencesEverything) {
+  ScopedSink sink;
+  Logger::instance().set_level(LogLevel::kOff);
+  PSLLC_ERROR("nope");
+  EXPECT_TRUE(sink.entries().empty());
+}
+
+TEST(Logger, EnabledPredicateMatchesWrite) {
+  ScopedSink sink;
+  Logger::instance().set_level(LogLevel::kInfo);
+  EXPECT_FALSE(Logger::instance().enabled(LogLevel::kDebug));
+  EXPECT_TRUE(Logger::instance().enabled(LogLevel::kInfo));
+  EXPECT_TRUE(Logger::instance().enabled(LogLevel::kError));
+}
+
+TEST(Logger, LevelNames) {
+  EXPECT_STREQ(to_string(LogLevel::kTrace), "TRACE");
+  EXPECT_STREQ(to_string(LogLevel::kError), "ERROR");
+  EXPECT_STREQ(to_string(LogLevel::kOff), "OFF");
+}
+
+}  // namespace
+}  // namespace psllc

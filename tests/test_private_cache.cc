@@ -1,0 +1,155 @@
+// Tests for the per-core L1I/L1D + L2 hierarchy: hit levels, inclusion,
+// dirtiness merging, forced evictions.
+#include <gtest/gtest.h>
+
+#include "common/assert.h"
+#include "common/rng.h"
+#include "mem/private_cache.h"
+
+namespace psllc::mem {
+namespace {
+
+PrivateCacheConfig small_config() {
+  PrivateCacheConfig config;
+  config.l1i = {2, 1, 64};
+  config.l1d = {2, 2, 64};
+  config.l2 = {4, 2, 64};
+  return config;
+}
+
+Addr addr_of_line(LineAddr line) { return line * 64; }
+
+TEST(PrivateCacheConfig, ValidatesShapes) {
+  PrivateCacheConfig config = small_config();
+  config.l1d.line_bytes = 128;
+  EXPECT_THROW(config.validate(), ConfigError);
+  config = small_config();
+  config.l2 = {1, 1, 64};  // smaller than L1D
+  EXPECT_THROW(config.validate(), ConfigError);
+  config = small_config();
+  config.l1_hit_latency = 0;
+  EXPECT_THROW(config.validate(), ConfigError);
+}
+
+TEST(PrivateCache, MissThenFillThenL1Hit) {
+  PrivateCacheHierarchy caches(small_config(), 1);
+  const Addr addr = addr_of_line(0x10);
+  EXPECT_EQ(caches.access(addr, AccessType::kRead), HitLevel::kMiss);
+  caches.fill(addr, AccessType::kRead, false);
+  EXPECT_EQ(caches.access(addr, AccessType::kRead), HitLevel::kL1);
+  EXPECT_TRUE(caches.holds(0x10));
+}
+
+TEST(PrivateCache, L2HitPromotesToL1) {
+  PrivateCacheHierarchy caches(small_config(), 1);
+  // Fill lines mapping to one L1D set (2 ways) until one is L1-evicted but
+  // still in L2: lines 0, 2, 4 all map to L1D set 0 (2 sets) and L2 sets
+  // 0/2/0 (4 sets)... use lines 0, 2, 4: L1D sets 0,0,0; L2 sets 0,2,0 --
+  // line 4 evicts line 0 from L2 too (2-way L2 set 0 holds {0,4}). Keep it
+  // in L2 by using lines 0, 2, 6: L2 sets 0, 2, 2 and L1D sets 0, 0, 0.
+  caches.fill(addr_of_line(0), AccessType::kRead, false);
+  caches.fill(addr_of_line(2), AccessType::kRead, false);
+  caches.fill(addr_of_line(6), AccessType::kRead, false);
+  // L1D set 0 holds the two most recent {2, 6}; line 0 is L2-only now.
+  EXPECT_EQ(caches.access(addr_of_line(0), AccessType::kRead), HitLevel::kL2);
+  // Promoted: next access is an L1 hit.
+  EXPECT_EQ(caches.access(addr_of_line(0), AccessType::kRead), HitLevel::kL1);
+}
+
+TEST(PrivateCache, IfetchUsesL1IOnly) {
+  PrivateCacheHierarchy caches(small_config(), 1);
+  const Addr addr = addr_of_line(0x20);
+  caches.fill(addr, AccessType::kIfetch, false);
+  EXPECT_TRUE(caches.l1i().contains(0x20));
+  EXPECT_FALSE(caches.l1d().contains(0x20));
+  EXPECT_EQ(caches.access(addr, AccessType::kIfetch), HitLevel::kL1);
+  // A *data* access to the same line misses L1D but hits L2.
+  EXPECT_EQ(caches.access(addr, AccessType::kRead), HitLevel::kL2);
+}
+
+TEST(PrivateCache, WriteMakesLineDirty) {
+  PrivateCacheHierarchy caches(small_config(), 1);
+  const Addr addr = addr_of_line(0x30);
+  caches.fill(addr, AccessType::kWrite, true);
+  EXPECT_TRUE(caches.holds_dirty(0x30));
+}
+
+TEST(PrivateCache, L2VictimMergesL1Dirtiness) {
+  PrivateCacheHierarchy caches(small_config(), 1);
+  // Dirty line in L1D; evict it from L2 via set pressure: lines 0x0, 0x4,
+  // 0x8 map to L2 set 0 (4 sets, 2 ways).
+  caches.fill(addr_of_line(0x0), AccessType::kWrite, true);
+  caches.fill(addr_of_line(0x4), AccessType::kRead, false);
+  const auto victim = caches.fill(addr_of_line(0x8), AccessType::kRead, false);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(victim->line, 0x0u);
+  EXPECT_TRUE(victim->dirty) << "L1 dirtiness must merge into the victim";
+  // Inclusion: the victim is gone from L1 too.
+  EXPECT_FALSE(caches.l1d().contains(0x0));
+  EXPECT_TRUE(caches.check_inclusion());
+}
+
+TEST(PrivateCache, ForceEvictRemovesEverywhereAndReportsDirty) {
+  PrivateCacheHierarchy caches(small_config(), 1);
+  caches.fill(addr_of_line(0x5), AccessType::kWrite, true);
+  const ForcedEviction result = caches.force_evict(0x5);
+  EXPECT_TRUE(result.was_present);
+  EXPECT_TRUE(result.was_dirty);
+  EXPECT_FALSE(caches.holds(0x5));
+  EXPECT_FALSE(caches.l1d().contains(0x5));
+  const ForcedEviction absent = caches.force_evict(0x5);
+  EXPECT_FALSE(absent.was_present);
+}
+
+TEST(PrivateCache, PreloadPlacesLineInL2Only) {
+  PrivateCacheHierarchy caches(small_config(), 1);
+  caches.preload(0x7, false);
+  EXPECT_TRUE(caches.holds(0x7));
+  EXPECT_FALSE(caches.l1d().contains(0x7));
+  EXPECT_THROW(caches.preload(0x7, false), AssertionError);
+}
+
+TEST(PrivateCache, CapacityLinesIsL2Capacity) {
+  PrivateCacheHierarchy caches(small_config(), 1);
+  EXPECT_EQ(caches.capacity_lines(), 8);
+  PrivateCacheConfig paper;  // defaults: 4-way x 16-set L2
+  PrivateCacheHierarchy paper_caches(paper, 1);
+  EXPECT_EQ(paper_caches.capacity_lines(), 64);
+}
+
+// Property: inclusion holds under arbitrary access/fill/evict interleaving.
+class PrivateCacheProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PrivateCacheProperty, InclusionInvariantUnderRandomTraffic) {
+  PrivateCacheHierarchy caches(small_config(), GetParam());
+  Rng rng(GetParam());
+  for (int step = 0; step < 3000; ++step) {
+    const LineAddr line = rng.next_below(64);
+    const Addr addr = addr_of_line(line);
+    const double action = rng.next_double();
+    if (action < 0.7) {
+      const auto type =
+          rng.next_bool(0.3) ? AccessType::kWrite : AccessType::kRead;
+      if (caches.access(addr, type) == HitLevel::kMiss) {
+        caches.fill(addr, type, is_write(type));
+      }
+    } else if (action < 0.85) {
+      caches.force_evict(line);
+    } else {
+      const Addr iaddr = addr_of_line(rng.next_below(32));
+      if (caches.access(iaddr, AccessType::kIfetch) == HitLevel::kMiss) {
+        caches.fill(iaddr, AccessType::kIfetch, false);
+      }
+    }
+    ASSERT_TRUE(caches.check_inclusion()) << "at step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrivateCacheProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace psllc::mem

@@ -1,0 +1,216 @@
+// Tests for the sim substrate: workload generators, trace I/O, runner and
+// sweep harness.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "common/assert.h"
+#include "sim/experiment.h"
+#include "sim/runner.h"
+#include "sim/trace_io.h"
+#include "sim/workload.h"
+
+namespace psllc::sim {
+namespace {
+
+// --- workload generators -----------------------------------------------------
+
+TEST(Workload, UniformRandomStaysInRangeAndAligned) {
+  RandomWorkloadOptions options;
+  options.range_bytes = 4096;
+  options.accesses = 2000;
+  const auto trace = make_uniform_random_trace(0x1000, options, 7);
+  ASSERT_EQ(trace.size(), 2000u);
+  for (const auto& op : trace) {
+    EXPECT_GE(op.addr, 0x1000u);
+    EXPECT_LT(op.addr, 0x1000u + 4096u);
+    EXPECT_EQ(op.addr % 64, 0u) << "line alignment";
+  }
+}
+
+TEST(Workload, DeterministicPerSeed) {
+  RandomWorkloadOptions options;
+  const auto a = make_uniform_random_trace(0, options, 42);
+  const auto b = make_uniform_random_trace(0, options, 42);
+  const auto c = make_uniform_random_trace(0, options, 43);
+  ASSERT_EQ(a.size(), b.size());
+  bool all_equal = true;
+  bool differs_from_c = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    all_equal = all_equal && a[i].addr == b[i].addr && a[i].type == b[i].type;
+    differs_from_c = differs_from_c || a[i].addr != c[i].addr;
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(differs_from_c);
+}
+
+TEST(Workload, WriteFractionRoughlyHonored) {
+  RandomWorkloadOptions options;
+  options.accesses = 10000;
+  options.write_fraction = 0.3;
+  const auto trace = make_uniform_random_trace(0, options, 3);
+  int writes = 0;
+  for (const auto& op : trace) {
+    writes += is_write(op.type) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(writes) / 10000.0, 0.3, 0.03);
+}
+
+TEST(Workload, DisjointRangesNeverAlias) {
+  RandomWorkloadOptions options;
+  options.range_bytes = 262144;
+  options.accesses = 500;
+  const auto traces = make_disjoint_random_workload(4, options, 11);
+  ASSERT_EQ(traces.size(), 4u);
+  for (int c = 0; c < 4; ++c) {
+    for (const auto& op : traces[static_cast<std::size_t>(c)]) {
+      // Core i draws from the contiguous range [i*range, (i+1)*range).
+      EXPECT_EQ(op.addr / static_cast<Addr>(options.range_bytes),
+                static_cast<Addr>(c));
+    }
+  }
+}
+
+TEST(Workload, TracesIndependentOfConfiguration) {
+  // The paper: "a core issues the same memory addresses across different
+  // partitioned configurations" — the generator takes no config input, so
+  // two calls with equal (seed, core, range) agree.
+  RandomWorkloadOptions options;
+  options.range_bytes = 8192;
+  options.accesses = 100;
+  const auto a = make_disjoint_random_workload(2, options, 5);
+  const auto b = make_disjoint_random_workload(4, options, 5);
+  for (std::size_t i = 0; i < a[0].size(); ++i) {
+    EXPECT_EQ(a[0][i].addr, b[0][i].addr);
+    EXPECT_EQ(a[1][i].addr, b[1][i].addr);
+  }
+}
+
+TEST(Workload, StridedTrace) {
+  const auto trace = make_strided_trace(0x100, 64, 4, 2);
+  ASSERT_EQ(trace.size(), 8u);
+  EXPECT_EQ(trace[0].addr, 0x100u);
+  EXPECT_EQ(trace[3].addr, 0x100u + 3 * 64u);
+  EXPECT_EQ(trace[4].addr, 0x100u);  // second repetition
+}
+
+TEST(Workload, PointerChaseVisitsAllNodes) {
+  const auto trace = make_pointer_chase_trace(0, 16, 16, 9);
+  ASSERT_EQ(trace.size(), 16u);
+  std::set<Addr> visited;
+  for (const auto& op : trace) {
+    visited.insert(op.addr);
+  }
+  // Sattolo permutation is a single cycle: 16 steps visit all 16 nodes.
+  EXPECT_EQ(visited.size(), 16u);
+}
+
+TEST(Workload, RejectsBadOptions) {
+  RandomWorkloadOptions options;
+  options.range_bytes = 32;  // < one line
+  EXPECT_THROW(make_uniform_random_trace(0, options, 1), ConfigError);
+  options = RandomWorkloadOptions{};
+  options.write_fraction = 1.5;
+  EXPECT_THROW(make_uniform_random_trace(0, options, 1), ConfigError);
+  EXPECT_THROW(make_pointer_chase_trace(0, 1, 5, 1), ConfigError);
+}
+
+// --- trace I/O ------------------------------------------------------------------
+
+TEST(TraceIo, RoundTrip) {
+  core::Trace trace{
+      core::MemOp{0x1000, AccessType::kRead, 0},
+      core::MemOp{0x2040, AccessType::kWrite, 12},
+      core::MemOp{0x3000, AccessType::kIfetch, 0},
+  };
+  std::ostringstream out;
+  write_trace(out, trace);
+  std::istringstream in(out.str());
+  const core::Trace parsed = read_trace(in);
+  ASSERT_EQ(parsed.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(parsed[i].addr, trace[i].addr);
+    EXPECT_EQ(parsed[i].type, trace[i].type);
+    EXPECT_EQ(parsed[i].gap, trace[i].gap);
+  }
+}
+
+TEST(TraceIo, ParsesCommentsAndDecimal) {
+  std::istringstream in(
+      "# a comment\n"
+      "\n"
+      "R 4096\n"
+      "w 0x80 5  # store with gap\n");
+  const core::Trace trace = read_trace(in);
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[0].addr, 4096u);
+  EXPECT_EQ(trace[1].type, AccessType::kWrite);
+  EXPECT_EQ(trace[1].gap, 5);
+}
+
+TEST(TraceIo, RejectsMalformedLines) {
+  std::istringstream bad_op("X 0x100\n");
+  EXPECT_THROW(read_trace(bad_op), ConfigError);
+  std::istringstream bad_addr("R zz\n");
+  EXPECT_THROW(read_trace(bad_addr), ConfigError);
+  std::istringstream bad_gap("R 0x100 -4\n");
+  EXPECT_THROW(read_trace(bad_gap), ConfigError);
+  std::istringstream trailing("R 0x100 4 junk\n");
+  EXPECT_THROW(read_trace(trailing), ConfigError);
+}
+
+// --- runner / sweep -----------------------------------------------------------------
+
+TEST(Runner, CompletesAndReportsMetrics) {
+  const auto setup = core::make_paper_setup("SS(4,4,2)", 2);
+  RandomWorkloadOptions options;
+  options.range_bytes = 2048;
+  options.accesses = 200;
+  const auto traces = make_disjoint_random_workload(2, options, 3);
+  const RunMetrics metrics = run_experiment(setup, traces);
+  EXPECT_TRUE(metrics.completed);
+  EXPECT_GT(metrics.makespan, 0);
+  EXPECT_GT(metrics.llc_requests, 0);
+  EXPECT_LE(metrics.observed_wcl, metrics.analytical_wcl);
+  EXPECT_EQ(metrics.per_core_finish.size(), 2u);
+  EXPECT_GT(metrics.dram_reads, 0);
+}
+
+TEST(Runner, HorizonAbortsReportIncomplete) {
+  const auto setup = core::make_paper_setup("SS(1,2,2)", 2);
+  RandomWorkloadOptions options;
+  options.range_bytes = 65536;
+  options.accesses = 5000;
+  const auto traces = make_disjoint_random_workload(2, options, 3);
+  RunOptions run_options;
+  run_options.max_cycles = 1000;  // far too little
+  const RunMetrics metrics = run_experiment(setup, traces, run_options);
+  EXPECT_FALSE(metrics.completed);
+}
+
+TEST(Sweep, GridShapeAndIdenticalTracesAcrossConfigs) {
+  SweepOptions options;
+  options.address_ranges = {1024, 4096};
+  options.accesses_per_core = 300;
+  const std::vector<SweepConfig> configs = {{"SS(4,4,2)", 2},
+                                            {"NSS(4,4,2)", 2}};
+  const SweepResult result = run_sweep(configs, options);
+  EXPECT_EQ(result.cells.size(), 4u);
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 2; ++c) {
+      const auto& cell = result.cell(r, c);
+      EXPECT_TRUE(cell.metrics.completed);
+      EXPECT_GT(cell.metrics.llc_requests, 0);
+    }
+  }
+  const Table wcl = wcl_table(result);
+  EXPECT_EQ(wcl.num_rows(), 3);  // 2 ranges + analytical row
+  const Table exec = exec_time_table(result);
+  EXPECT_EQ(exec.num_rows(), 2);
+  EXPECT_GT(mean_speedup(result, "SS(4,4,2)", "NSS(4,4,2)"), 0.0);
+  EXPECT_THROW((void)mean_speedup(result, "nope", "NSS(4,4,2)"), ConfigError);
+}
+
+}  // namespace
+}  // namespace psllc::sim

@@ -1,0 +1,84 @@
+// Long-run stress tests: heavy random traffic across a grid of
+// configurations with the LLC invariant sweep executed every period —
+// directory/ack consistency, inclusion, and buffer bounds must hold at all
+// times, not just at the end.
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "sim/workload.h"
+
+namespace psllc::core {
+namespace {
+
+struct StressParam {
+  std::string notation;
+  int cores;
+  double write_fraction;
+  std::uint64_t seed;
+};
+
+class StressInvariants : public ::testing::TestWithParam<StressParam> {};
+
+TEST_P(StressInvariants, HoldEveryPeriod) {
+  const StressParam& param = GetParam();
+  const ExperimentSetup setup = make_paper_setup(param.notation, param.cores);
+  System system(setup);
+  const int period = system.schedule().slots_per_period();
+  std::int64_t checks = 0;
+  system.add_slot_observer([&](const SlotEvent& event) {
+    if (event.slot_index % period != 0) {
+      return;
+    }
+    ++checks;
+    system.llc().check_invariants();
+    for (int c = 0; c < param.cores; ++c) {
+      ASSERT_TRUE(system.core(CoreId{c}).caches().check_inclusion());
+    }
+  });
+  sim::RandomWorkloadOptions workload;
+  workload.range_bytes = 32768;
+  workload.accesses = 5000;
+  workload.write_fraction = param.write_fraction;
+  const auto traces = sim::make_disjoint_random_workload(
+      param.cores, workload, param.seed);
+  for (int c = 0; c < param.cores; ++c) {
+    system.set_trace(CoreId{c}, traces[static_cast<std::size_t>(c)]);
+  }
+  const auto result = system.run(2'000'000'000);
+  ASSERT_TRUE(result.all_done);
+  EXPECT_GT(checks, 100);
+  // Post-run: every L2-resident line is still LLC-resident (inclusion
+  // across levels), and no request is left dangling.
+  for (int c = 0; c < param.cores; ++c) {
+    for (LineAddr line :
+         system.core(CoreId{c}).caches().l2().resident_lines()) {
+      ASSERT_GE(system.llc().find_way(CoreId{c}, line), 0);
+    }
+    EXPECT_FALSE(system.llc().has_pending_request(CoreId{c}));
+    EXPECT_FALSE(system.tracker().has_inflight(CoreId{c}));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, StressInvariants,
+    ::testing::Values(StressParam{"SS(1,4,4)", 4, 0.5, 101},
+                      StressParam{"NSS(1,4,4)", 4, 0.5, 102},
+                      StressParam{"SS(2,2,4)", 4, 0.9, 103},
+                      StressParam{"NSS(32,2,4)", 4, 0.25, 104},
+                      StressParam{"SS(32,4,2)", 2, 0.75, 105},
+                      StressParam{"NSS(1,16,4)", 4, 0.5, 106},
+                      StressParam{"P(1,2)", 4, 0.5, 107},
+                      StressParam{"P(8,2)", 4, 0.9, 108}),
+    [](const ::testing::TestParamInfo<StressParam>& info) {
+      std::string name = info.param.notation + "_s" +
+                         std::to_string(info.param.seed);
+      for (char& ch : name) {
+        if (ch == '(' || ch == ')' || ch == ',') {
+          ch = '_';
+        }
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace psllc::core

@@ -1,0 +1,104 @@
+// Tests for SystemConfig validation and the paper's SS/NSS/P notation.
+#include <gtest/gtest.h>
+
+#include "common/assert.h"
+#include "core/system_config.h"
+
+namespace psllc::core {
+namespace {
+
+TEST(PartitionNotation, ParsesPaperForms) {
+  const auto ss = PartitionNotation::parse("SS(1,2,4)");
+  EXPECT_EQ(ss.kind, PartitionNotation::Kind::kSharedSequenced);
+  EXPECT_EQ(ss.sets, 1);
+  EXPECT_EQ(ss.ways, 2);
+  EXPECT_EQ(ss.sharers, 4);
+  EXPECT_EQ(ss.to_string(), "SS(1,2,4)");
+
+  const auto nss = PartitionNotation::parse("nss( 32 , 4 , 2 )");
+  EXPECT_EQ(nss.kind, PartitionNotation::Kind::kSharedBestEffort);
+  EXPECT_EQ(nss.sets, 32);
+
+  const auto p = PartitionNotation::parse("P(8,2)");
+  EXPECT_EQ(p.kind, PartitionNotation::Kind::kPrivate);
+  EXPECT_FALSE(p.is_shared());
+  EXPECT_EQ(p.to_string(), "P(8,2)");
+}
+
+TEST(PartitionNotation, RejectsMalformed) {
+  EXPECT_THROW(PartitionNotation::parse("SS(1,2)"), ConfigError);
+  EXPECT_THROW(PartitionNotation::parse("P(1,2,3)"), ConfigError);
+  EXPECT_THROW(PartitionNotation::parse("Q(1,2)"), ConfigError);
+  EXPECT_THROW(PartitionNotation::parse("SS(0,2,4)"), ConfigError);
+  EXPECT_THROW(PartitionNotation::parse("SS(1,2,4"), ConfigError);
+  EXPECT_THROW(PartitionNotation::parse("SS 1,2,4)"), ConfigError);
+  EXPECT_THROW(PartitionNotation::parse("SS(1,x,4)"), ConfigError);
+}
+
+TEST(MakePaperSetup, SharedConfigurations) {
+  const auto ss = make_paper_setup("SS(1,2,4)", 4);
+  EXPECT_EQ(ss.config.num_cores, 4);
+  EXPECT_EQ(ss.config.mode, llc::ContentionMode::kSetSequencer);
+  EXPECT_EQ(ss.partitions.num_partitions(), 1);
+  EXPECT_EQ(ss.partitions.sharer_count_of(CoreId{0}), 4);
+
+  const auto nss = make_paper_setup("NSS(32,4,2)", 2);
+  EXPECT_EQ(nss.config.mode, llc::ContentionMode::kBestEffort);
+  EXPECT_EQ(nss.config.num_cores, 2);
+  EXPECT_EQ(nss.partitions.spec(0).num_sets, 32);
+  EXPECT_EQ(nss.partitions.spec(0).num_ways, 4);
+}
+
+TEST(MakePaperSetup, PrivateConfiguration) {
+  const auto p = make_paper_setup("P(8,2)", 4);
+  EXPECT_EQ(p.partitions.num_partitions(), 4);
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_EQ(p.partitions.sharer_count_of(CoreId{c}), 1);
+  }
+}
+
+TEST(MakePaperSetup, SharerMismatchRejected) {
+  EXPECT_THROW(make_paper_setup("SS(1,2,4)", 2), ConfigError);
+  EXPECT_THROW(make_paper_setup("SS(1,2,2)", 4), ConfigError);
+}
+
+TEST(SystemConfig, PaperPlatformDefaults) {
+  const SystemConfig config;
+  EXPECT_EQ(config.slot_width, 50);
+  EXPECT_EQ(config.llc.geometry.num_sets, 32);
+  EXPECT_EQ(config.llc.geometry.num_ways, 16);
+  EXPECT_EQ(config.llc.geometry.line_bytes, 64);
+  EXPECT_EQ(config.private_caches.l2.num_sets, 16);
+  EXPECT_EQ(config.private_caches.l2.num_ways, 4);
+  EXPECT_NO_THROW(config.validate());
+}
+
+TEST(SystemConfig, SlotMustAbsorbFill) {
+  SystemConfig config;
+  config.slot_width = 10;  // < lookup (5) + DRAM (30)
+  EXPECT_THROW(config.validate(), ConfigError);
+  config.slot_width = 35;
+  EXPECT_NO_THROW(config.validate());
+}
+
+TEST(SystemConfig, ExplicitScheduleChecked) {
+  SystemConfig config;
+  config.num_cores = 2;
+  config.schedule_slots = {CoreId{0}, CoreId{1}, CoreId{1}};
+  EXPECT_NO_THROW(config.validate());
+  EXPECT_FALSE(config.make_schedule().is_one_slot_tdm());
+  config.schedule_slots = {CoreId{0}};  // core 1 starves
+  EXPECT_THROW(config.validate(), ConfigError);
+  config.num_cores = 4;
+  config.schedule_slots = {CoreId{0}, CoreId{1}};  // covers 2 of 4 cores
+  EXPECT_THROW(config.validate(), ConfigError);
+}
+
+TEST(SystemConfig, LineSizeConsistencyEnforced) {
+  SystemConfig config;
+  config.dram.line_bytes = 128;
+  EXPECT_THROW(config.validate(), ConfigError);
+}
+
+}  // namespace
+}  // namespace psllc::core

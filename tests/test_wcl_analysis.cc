@@ -1,0 +1,159 @@
+// Unit tests for core/wcl_analysis: Theorems 4.7 / 4.8, the private bound,
+// boundedness classification, and the paper's quoted numbers.
+#include <gtest/gtest.h>
+
+#include "core/system_config.h"
+#include "core/wcl_analysis.h"
+
+namespace psllc::core {
+namespace {
+
+SharedPartitionScenario paper_scenario(int sets, int ways, int sharers) {
+  SharedPartitionScenario scenario;
+  scenario.total_cores = 4;
+  scenario.sharers = sharers;
+  scenario.partition_sets = sets;
+  scenario.partition_ways = ways;
+  scenario.cua_capacity_lines = 64;  // 4-way x 16-set L2
+  scenario.slot_width = kPaperSlotWidth;
+  return scenario;
+}
+
+// --- The paper's Figure 7 analytical lines -------------------------------
+
+TEST(WclAnalysis, PaperSetSequencerLineIs5000Cycles) {
+  // SS with n = 4 sharers on the 4-core platform: (2*3*4 + 1) * 4 * 50.
+  const auto scenario = paper_scenario(1, 2, 4);
+  EXPECT_EQ(wcl_set_sequencer_slots(scenario), 100);
+  EXPECT_EQ(wcl_set_sequencer_cycles(scenario), 5000);
+}
+
+TEST(WclAnalysis, SetSequencerBoundIndependentOfPartitionSize) {
+  // Theorem 4.8 does not depend on sets/ways — the paper's headline.
+  const Cycle reference = wcl_set_sequencer_cycles(paper_scenario(1, 2, 4));
+  for (int sets : {1, 2, 8, 32}) {
+    for (int ways : {1, 2, 4, 16}) {
+      EXPECT_EQ(wcl_set_sequencer_cycles(paper_scenario(sets, ways, 4)),
+                reference)
+          << sets << "x" << ways;
+    }
+  }
+}
+
+TEST(WclAnalysis, PaperNssLineIs979250Cycles) {
+  // The paper quotes 979250 cycles for NSS: Theorem 4.7 for the one-set
+  // full-associativity partition (w = 16, M = 16 -> m = min(64,16) = 16).
+  const auto scenario = paper_scenario(1, 16, 4);
+  EXPECT_EQ(scenario.m(), 16);
+  EXPECT_EQ(wcl_1s_tdm_slots(scenario), 19585);
+  EXPECT_EQ(wcl_1s_tdm_cycles(scenario), 979250);
+}
+
+TEST(WclAnalysis, PaperPrivateLineIs450Cycles) {
+  EXPECT_EQ(wcl_private_slots(4), 9);
+  EXPECT_EQ(wcl_private_cycles(4, kPaperSlotWidth), 450);
+}
+
+// --- Theorem 4.7 structure ------------------------------------------------
+
+TEST(WclAnalysis, TdmBoundGrowsWithWays) {
+  const auto w2 = wcl_1s_tdm_cycles(paper_scenario(1, 2, 4));
+  const auto w4 = wcl_1s_tdm_cycles(paper_scenario(1, 4, 4));
+  const auto w16 = wcl_1s_tdm_cycles(paper_scenario(1, 16, 4));
+  EXPECT_LT(w2, w4);
+  EXPECT_LT(w4, w16);
+}
+
+TEST(WclAnalysis, TdmBoundCapsAtCuaCapacity) {
+  // m = min(m_cua, M): growing the partition beyond the private capacity
+  // stops growing m.
+  auto small = paper_scenario(4, 4, 4);   // M = 16 < 64
+  auto at_cap = paper_scenario(16, 4, 4); // M = 64
+  auto beyond = paper_scenario(32, 4, 4); // M = 128 > 64
+  EXPECT_EQ(small.m(), 16);
+  EXPECT_EQ(at_cap.m(), 64);
+  EXPECT_EQ(beyond.m(), 64);
+  EXPECT_LT(wcl_1s_tdm_cycles(small), wcl_1s_tdm_cycles(at_cap));
+  EXPECT_EQ(wcl_1s_tdm_cycles(at_cap), wcl_1s_tdm_cycles(beyond));
+}
+
+TEST(WclAnalysis, TdmBoundCubicInSharers) {
+  // A*N has (n-1)^2 and the critical instance repeats ~m times; check the
+  // formula matches a direct evaluation for several n.
+  for (int n = 2; n <= 4; ++n) {
+    auto scenario = paper_scenario(1, 2, n);
+    const std::int64_t a = 2 * (n - 1) * 2 * (n - 1);
+    const std::int64_t expected = (scenario.m() + 1) * a * 4 + 1;
+    EXPECT_EQ(wcl_1s_tdm_slots(scenario), expected) << "n=" << n;
+  }
+}
+
+TEST(WclAnalysis, ImprovementRatioForPaperExample) {
+  // Section 4.5: "a 4-core setup with a 16-way LLC with 128 cache lines".
+  // The paper's 2048x is the back-of-envelope (m+1)*w; the exact theorem
+  // ratio is ~1475x when m_cua covers the partition (m = 127), ~749x with
+  // the default 64-line L2. Either way: three orders of magnitude.
+  auto scenario = paper_scenario(8, 16, 4);  // 128 lines
+  scenario.cua_capacity_lines = 128;
+  EXPECT_EQ(scenario.m(), 128);
+  const double ratio = wcl_improvement_ratio(scenario);
+  EXPECT_GT(ratio, 1000.0);
+  EXPECT_LT(ratio, 2048.0);
+}
+
+// --- boundedness ----------------------------------------------------------
+
+TEST(WclAnalysis, SharedBestEffortMultiSlotIsUnbounded) {
+  const auto schedule = bus::TdmSchedule::weighted({1, 2}, 50);
+  EXPECT_EQ(classify_wcl(schedule, true, llc::ContentionMode::kBestEffort),
+            Boundedness::kUnbounded);
+}
+
+TEST(WclAnalysis, OneSlotTdmIsAlwaysBounded) {
+  const auto schedule = bus::TdmSchedule::one_slot(4, 50);
+  EXPECT_EQ(classify_wcl(schedule, true, llc::ContentionMode::kBestEffort),
+            Boundedness::kBounded);
+  EXPECT_EQ(classify_wcl(schedule, true, llc::ContentionMode::kSetSequencer),
+            Boundedness::kBounded);
+}
+
+TEST(WclAnalysis, PrivatePartitionsBoundedUnderAnySchedule) {
+  const auto schedule = bus::TdmSchedule::weighted({1, 3}, 50);
+  EXPECT_EQ(classify_wcl(schedule, false, llc::ContentionMode::kBestEffort),
+            Boundedness::kBounded);
+}
+
+TEST(WclAnalysis, SequencerBoundedEvenMultiSlot) {
+  const auto schedule = bus::TdmSchedule::weighted({1, 2}, 50);
+  EXPECT_EQ(classify_wcl(schedule, true, llc::ContentionMode::kSetSequencer),
+            Boundedness::kBounded);
+}
+
+// --- dispatch from experiment setups ---------------------------------------
+
+TEST(WclAnalysis, AnalyticalWclForPaperConfigs) {
+  EXPECT_EQ(analytical_wcl_cycles(make_paper_setup("SS(1,2,4)", 4),
+                                  CoreId{0}),
+            5000);
+  EXPECT_EQ(analytical_wcl_cycles(make_paper_setup("P(1,2)", 4), CoreId{0}),
+            450);
+  // NSS(1,16,4) reproduces the quoted 979250.
+  EXPECT_EQ(analytical_wcl_cycles(make_paper_setup("NSS(1,16,4)", 4),
+                                  CoreId{0}),
+            979250);
+}
+
+TEST(WclAnalysis, ScenarioValidationRejectsBadInput) {
+  SharedPartitionScenario scenario = paper_scenario(1, 2, 4);
+  scenario.sharers = 1;  // private — Theorem 4.7 does not apply
+  EXPECT_THROW((void)wcl_1s_tdm_slots(scenario), ConfigError);
+  scenario = paper_scenario(1, 2, 4);
+  scenario.sharers = 5;  // n > N
+  EXPECT_THROW((void)wcl_1s_tdm_slots(scenario), ConfigError);
+  scenario = paper_scenario(0, 2, 4);
+  EXPECT_THROW((void)wcl_1s_tdm_slots(scenario), ConfigError);
+  EXPECT_THROW((void)wcl_private_slots(0), ConfigError);
+}
+
+}  // namespace
+}  // namespace psllc::core

@@ -1,0 +1,105 @@
+// The headline property of the paper, checked empirically: for every
+// configuration in a (notation x seed) grid, the observed service latency
+// of every LLC request stays within the analytical WCL bound —
+// Theorem 4.8 for SS, Theorem 4.7 for NSS, the derived (2N+1)-slot bound
+// for private partitions.
+//
+// Workloads use single-set partitions (as in the paper's Section 5.1) to
+// force maximal conflict pressure.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "core/wcl_analysis.h"
+#include "sim/runner.h"
+#include "sim/workload.h"
+
+namespace psllc::core {
+namespace {
+
+struct GridParam {
+  std::string notation;
+  int cores;
+  std::uint64_t seed;
+};
+
+class WclBoundHolds : public ::testing::TestWithParam<GridParam> {};
+
+TEST_P(WclBoundHolds, ObservedNeverExceedsAnalytical) {
+  const GridParam& param = GetParam();
+  const ExperimentSetup setup = make_paper_setup(param.notation, param.cores);
+  sim::RandomWorkloadOptions workload;
+  workload.range_bytes = 16384;  // far beyond every partition: all conflict
+  workload.accesses = 4000;
+  workload.write_fraction = 0.4;
+  const auto traces = sim::make_disjoint_random_workload(
+      param.cores, workload, param.seed);
+  const sim::RunMetrics metrics = sim::run_experiment(setup, traces);
+  ASSERT_TRUE(metrics.completed);
+  ASSERT_GT(metrics.llc_requests, 0);
+  EXPECT_LE(metrics.observed_wcl, metrics.analytical_wcl)
+      << param.notation << " seed " << param.seed;
+}
+
+std::vector<GridParam> make_grid() {
+  std::vector<GridParam> grid;
+  const std::vector<std::pair<std::string, int>> configs = {
+      {"SS(1,2,4)", 4}, {"SS(1,4,4)", 4},  {"SS(1,2,2)", 2},
+      {"NSS(1,2,4)", 4}, {"NSS(1,4,4)", 4}, {"NSS(1,2,2)", 2},
+      {"NSS(1,16,4)", 4}, {"P(1,2)", 4},    {"P(1,4)", 2},
+      {"SS(2,2,3)", 3},  {"NSS(2,2,3)", 3},
+  };
+  for (const auto& [notation, cores] : configs) {
+    for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+      grid.push_back(GridParam{notation, cores, seed});
+    }
+  }
+  return grid;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, WclBoundHolds, ::testing::ValuesIn(make_grid()),
+    [](const ::testing::TestParamInfo<GridParam>& info) {
+      std::string name = info.param.notation + "_s" +
+                         std::to_string(info.param.seed);
+      for (char& ch : name) {
+        if (ch == '(' || ch == ')' || ch == ',') {
+          ch = '_';
+        }
+      }
+      return name;
+    });
+
+// The analytical hierarchy the paper reports: P bound < SS bound < NSS
+// bound for shared configurations on the same platform.
+TEST(WclBoundHierarchy, PrivateBelowSequencerBelowBestEffort) {
+  const Cycle p = analytical_wcl_cycles(make_paper_setup("P(1,2)", 4),
+                                        CoreId{0});
+  const Cycle ss = analytical_wcl_cycles(make_paper_setup("SS(1,2,4)", 4),
+                                         CoreId{0});
+  const Cycle nss = analytical_wcl_cycles(make_paper_setup("NSS(1,2,4)", 4),
+                                          CoreId{0});
+  EXPECT_LT(p, ss);
+  EXPECT_LT(ss, nss);
+}
+
+// Sharing with the sequencer also beats NSS empirically under heavy
+// conflict (the paper's Figure 7 observation).
+TEST(WclBoundHierarchy, ObservedSsBelowNssUnderConflictPressure) {
+  sim::RandomWorkloadOptions workload;
+  workload.range_bytes = 16384;
+  workload.accesses = 8000;
+  workload.write_fraction = 0.4;
+  const auto traces = sim::make_disjoint_random_workload(4, workload, 99);
+  const auto ss_metrics = sim::run_experiment(
+      make_paper_setup("SS(1,4,4)", 4), traces);
+  const auto nss_metrics = sim::run_experiment(
+      make_paper_setup("NSS(1,4,4)", 4), traces);
+  ASSERT_TRUE(ss_metrics.completed);
+  ASSERT_TRUE(nss_metrics.completed);
+  EXPECT_LT(ss_metrics.observed_wcl, nss_metrics.observed_wcl);
+}
+
+}  // namespace
+}  // namespace psllc::core
