@@ -1,0 +1,44 @@
+# Smoke test for the fig7_wcl bench executable, run via
+#   cmake -DFIG7_BIN=<path> -DWORK_DIR=<dir> -P fig7_smoke.cmake
+# Asserts the process exits 0, prints PASS for both programmatic claim
+# checks, and writes bench_results/fig7_wcl.csv in the working directory.
+
+if(NOT DEFINED FIG7_BIN OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "fig7_smoke.cmake needs -DFIG7_BIN=... and -DWORK_DIR=...")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+execute_process(
+  COMMAND "${FIG7_BIN}"
+  WORKING_DIRECTORY "${WORK_DIR}"
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE rc
+)
+
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "fig7_wcl exited with ${rc}\nstdout:\n${out}\nstderr:\n${err}")
+endif()
+
+foreach(claim
+        "claim check: observed <= analytical everywhere: PASS"
+        "claim check: NSS observed >= SS observed (per range/ways): PASS")
+  string(FIND "${out}" "${claim}" found)
+  if(found EQUAL -1)
+    message(FATAL_ERROR "missing expected line '${claim}'\nstdout:\n${out}")
+  endif()
+endforeach()
+
+if(NOT EXISTS "${WORK_DIR}/bench_results/fig7_wcl.csv")
+  message(FATAL_ERROR "fig7_wcl did not write bench_results/fig7_wcl.csv")
+endif()
+
+file(READ "${WORK_DIR}/bench_results/fig7_wcl.csv" csv)
+string(LENGTH "${csv}" csv_len)
+if(csv_len EQUAL 0)
+  message(FATAL_ERROR "bench_results/fig7_wcl.csv is empty")
+endif()
+
+message(STATUS "fig7_wcl smoke: both claim checks PASS, CSV written (${csv_len} bytes)")

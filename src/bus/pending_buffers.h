@@ -15,6 +15,7 @@
 #ifndef PSLLC_BUS_PENDING_BUFFERS_H_
 #define PSLLC_BUS_PENDING_BUFFERS_H_
 
+#include <cstdint>
 #include <optional>
 
 #include "bus/message.h"

@@ -9,6 +9,7 @@
 #ifndef PSLLC_BUS_TDM_SCHEDULE_H_
 #define PSLLC_BUS_TDM_SCHEDULE_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 

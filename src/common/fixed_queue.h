@@ -6,6 +6,7 @@
 #ifndef PSLLC_COMMON_FIXED_QUEUE_H_
 #define PSLLC_COMMON_FIXED_QUEUE_H_
 
+#include <cstddef>
 #include <utility>
 #include <vector>
 

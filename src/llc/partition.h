@@ -4,6 +4,7 @@
 #ifndef PSLLC_LLC_PARTITION_H_
 #define PSLLC_LLC_PARTITION_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 

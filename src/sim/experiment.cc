@@ -1,5 +1,11 @@
 #include "sim/experiment.h"
 
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
 #include "common/assert.h"
 #include "core/wcl_analysis.h"
 
@@ -16,36 +22,104 @@ const SweepCell& SweepResult::cell(int range_index, int config_index) const {
                static_cast<std::size_t>(config_index)];
 }
 
+namespace {
+
+// Computes one grid cell. Every cell builds its own core::System and its own
+// traces, so cells share no mutable state and can run on any thread.
+SweepCell run_cell(const SweepConfig& config, std::int64_t range,
+                   const SweepOptions& options) {
+  RandomWorkloadOptions workload;
+  workload.range_bytes = range;
+  workload.accesses = options.accesses_per_core;
+  workload.write_fraction = options.write_fraction;
+  // Trace identity: (seed, core, range) only — identical addresses for
+  // every configuration, as the paper requires.
+  const std::vector<core::Trace> traces = make_disjoint_random_workload(
+      config.active_cores, workload, options.seed);
+  const core::ExperimentSetup setup =
+      core::make_paper_setup(config.notation, config.active_cores);
+  RunOptions run_options;
+  run_options.max_cycles = options.max_cycles;
+  SweepCell cell;
+  cell.config = config;
+  cell.range_bytes = range;
+  cell.metrics = run_experiment(setup, traces, run_options);
+  return cell;
+}
+
+}  // namespace
+
 SweepResult run_sweep(const std::vector<SweepConfig>& configs,
                       const SweepOptions& options) {
   PSLLC_CONFIG_CHECK(!configs.empty(), "sweep needs >=1 configuration");
   PSLLC_CONFIG_CHECK(!options.address_ranges.empty(),
                      "sweep needs >=1 address range");
+  PSLLC_CONFIG_CHECK(options.threads >= 0,
+                     "threads must be >= 0, got " << options.threads);
   SweepResult result;
   result.configs = configs;
   result.ranges = options.address_ranges;
-  result.cells.reserve(configs.size() * options.address_ranges.size());
 
-  for (const std::int64_t range : options.address_ranges) {
-    for (const SweepConfig& config : configs) {
-      RandomWorkloadOptions workload;
-      workload.range_bytes = range;
-      workload.accesses = options.accesses_per_core;
-      workload.write_fraction = options.write_fraction;
-      // Trace identity: (seed, core, range) only — identical addresses for
-      // every configuration, as the paper requires.
-      const std::vector<core::Trace> traces = make_disjoint_random_workload(
-          config.active_cores, workload, options.seed);
-      const core::ExperimentSetup setup =
-          core::make_paper_setup(config.notation, config.active_cores);
-      RunOptions run_options;
-      run_options.max_cycles = options.max_cycles;
-      SweepCell cell;
-      cell.config = config;
-      cell.range_bytes = range;
-      cell.metrics = run_experiment(setup, traces, run_options);
-      result.cells.push_back(std::move(cell));
+  const std::size_t total = configs.size() * options.address_ranges.size();
+  result.cells.resize(total);
+
+  // Cell index in row-major (range, config) order, matching
+  // SweepResult::cell — each worker writes only its own slot, so the result
+  // layout (and every byte of the rendered tables) is independent of thread
+  // count and completion order.
+  const auto compute = [&](std::size_t index) {
+    const std::size_t r = index / configs.size();
+    const std::size_t c = index % configs.size();
+    result.cells[index] =
+        run_cell(configs[c], options.address_ranges[r], options);
+  };
+
+  std::size_t worker_count =
+      options.threads > 0
+          ? static_cast<std::size_t>(options.threads)
+          : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  worker_count = std::min(worker_count, total);
+
+  if (worker_count <= 1) {
+    for (std::size_t index = 0; index < total; ++index) {
+      compute(index);
     }
+    return result;
+  }
+
+  std::atomic<std::size_t> next{0};
+  // On error the sweep fails fast: unclaimed cells are skipped. Among the
+  // cells that did throw, the lowest index wins, so the serial path and the
+  // pool agree whenever only one cell is faulty.
+  std::atomic<bool> failed{false};
+  std::mutex error_mutex;
+  std::size_t error_index = total;
+  std::exception_ptr error;
+  std::vector<std::thread> workers;
+  workers.reserve(worker_count);
+  for (std::size_t w = 0; w < worker_count; ++w) {
+    workers.emplace_back([&] {
+      for (std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
+           index < total && !failed.load(std::memory_order_relaxed);
+           index = next.fetch_add(1, std::memory_order_relaxed)) {
+        try {
+          compute(index);
+        } catch (...) {
+          failed.store(true, std::memory_order_relaxed);
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (index < error_index) {
+            error_index = index;
+            error = std::current_exception();
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  if (error) {
+    std::rethrow_exception(error);
   }
   return result;
 }

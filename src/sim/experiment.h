@@ -29,6 +29,11 @@ struct SweepOptions {
   double write_fraction = 0.25;
   std::uint64_t seed = 42;
   Cycle max_cycles = 2'000'000'000;
+  /// Worker threads for the sweep grid. Each cell builds its own
+  /// core::System, so cells are embarrassingly parallel; results are
+  /// bit-identical to the serial path regardless of thread count.
+  /// 0 = std::thread::hardware_concurrency(), 1 = serial.
+  int threads = 0;
 };
 
 /// All metrics of one sweep cell.

@@ -212,5 +212,77 @@ TEST(Sweep, GridShapeAndIdenticalTracesAcrossConfigs) {
   EXPECT_THROW((void)mean_speedup(result, "nope", "NSS(4,4,2)"), ConfigError);
 }
 
+TEST(Sweep, ParallelMatchesSerialBitIdentical) {
+  // The worker-pool sweep must reproduce the serial path exactly: same seed
+  // => same metrics in every cell and byte-identical rendered tables.
+  SweepOptions serial_options;
+  serial_options.address_ranges = {1024, 2048, 4096};
+  serial_options.accesses_per_core = 400;
+  serial_options.seed = 99;
+  serial_options.threads = 1;
+  SweepOptions parallel_options = serial_options;
+  parallel_options.threads = 4;
+  const std::vector<SweepConfig> configs = {
+      {"SS(4,4,2)", 2}, {"NSS(4,4,2)", 2}, {"P(2,4)", 2}};
+
+  const SweepResult serial = run_sweep(configs, serial_options);
+  const SweepResult parallel = run_sweep(configs, parallel_options);
+
+  ASSERT_EQ(serial.cells.size(), parallel.cells.size());
+  for (std::size_t i = 0; i < serial.cells.size(); ++i) {
+    const SweepCell& a = serial.cells[i];
+    const SweepCell& b = parallel.cells[i];
+    EXPECT_EQ(a.config.notation, b.config.notation) << "cell " << i;
+    EXPECT_EQ(a.range_bytes, b.range_bytes) << "cell " << i;
+    EXPECT_EQ(a.metrics.completed, b.metrics.completed) << "cell " << i;
+    EXPECT_EQ(a.metrics.end_cycle, b.metrics.end_cycle) << "cell " << i;
+    EXPECT_EQ(a.metrics.makespan, b.metrics.makespan) << "cell " << i;
+    EXPECT_EQ(a.metrics.observed_wcl, b.metrics.observed_wcl) << "cell " << i;
+    EXPECT_EQ(a.metrics.analytical_wcl, b.metrics.analytical_wcl)
+        << "cell " << i;
+    EXPECT_EQ(a.metrics.llc_requests, b.metrics.llc_requests) << "cell " << i;
+    EXPECT_EQ(a.metrics.per_core_finish, b.metrics.per_core_finish)
+        << "cell " << i;
+    EXPECT_EQ(a.metrics.dram_reads, b.metrics.dram_reads) << "cell " << i;
+    EXPECT_EQ(a.metrics.dram_writes, b.metrics.dram_writes) << "cell " << i;
+  }
+  EXPECT_EQ(wcl_table(serial).to_csv(), wcl_table(parallel).to_csv());
+  EXPECT_EQ(exec_time_table(serial).to_csv(),
+            exec_time_table(parallel).to_csv());
+}
+
+TEST(Sweep, DefaultThreadCountMatchesSerial) {
+  // threads = 0 (auto) must also be deterministic.
+  SweepOptions options;
+  options.address_ranges = {1024, 4096};
+  options.accesses_per_core = 200;
+  options.seed = 7;
+  const std::vector<SweepConfig> configs = {{"SS(4,4,2)", 2}, {"P(2,4)", 2}};
+  SweepOptions serial = options;
+  serial.threads = 1;
+  const SweepResult a = run_sweep(configs, options);
+  const SweepResult b = run_sweep(configs, serial);
+  EXPECT_EQ(wcl_table(a).to_csv(), wcl_table(b).to_csv());
+  EXPECT_EQ(exec_time_table(a).to_csv(), exec_time_table(b).to_csv());
+}
+
+TEST(Sweep, RejectsNegativeThreads) {
+  SweepOptions options;
+  options.threads = -1;
+  const std::vector<SweepConfig> configs = {{"SS(4,4,2)", 2}};
+  EXPECT_THROW((void)run_sweep(configs, options), ConfigError);
+}
+
+TEST(Sweep, ParallelPropagatesCellErrors) {
+  // An invalid notation makes a cell throw; the pool must surface it.
+  SweepOptions options;
+  options.address_ranges = {1024, 2048};
+  options.accesses_per_core = 100;
+  options.threads = 4;
+  const std::vector<SweepConfig> configs = {{"SS(4,4,2)", 2},
+                                            {"bogus-notation", 2}};
+  EXPECT_THROW((void)run_sweep(configs, options), ConfigError);
+}
+
 }  // namespace
 }  // namespace psllc::sim
