@@ -4,9 +4,11 @@
 // mappings and shows the observed WCL stays within the (mapping-
 // independent) analytical bound for both; average execution time differs
 // because the mappings spread the working set differently.
-#include <cstdio>
+#include <string>
+#include <utility>
 
 #include "bench/bench_util.h"
+#include "bench/registry.h"
 #include "core/system.h"
 #include "core/wcl_analysis.h"
 #include "sim/workload.h"
@@ -16,6 +18,10 @@ namespace {
 using namespace psllc;        // NOLINT
 using namespace psllc::core;  // NOLINT
 
+constexpr char kTitle[] = "Ablation: set-index mapping independence";
+constexpr char kReference[] =
+    "Wu & Patel, DAC'22, Section 2 (mapping-agnostic analysis)";
+
 struct Row {
   Cycle observed = 0;
   Cycle bound = 0;
@@ -23,8 +29,8 @@ struct Row {
   bool ok = false;
 };
 
-Row run_one(const char* notation, llc::SetMapping mapping,
-            std::int64_t range) {
+Row run_one(const char* notation, llc::SetMapping mapping, std::int64_t range,
+            int accesses) {
   ExperimentSetup setup = make_paper_setup(notation, 4);
   // Rebuild the partition map with the requested mapping.
   llc::PartitionMap remapped(setup.config.llc.geometry);
@@ -36,7 +42,7 @@ Row run_one(const char* notation, llc::SetMapping mapping,
   System system(setup.config, std::move(remapped));
   sim::RandomWorkloadOptions workload;
   workload.range_bytes = range;
-  workload.accesses = 15000;
+  workload.accesses = accesses;
   workload.write_fraction = 0.25;
   const auto traces = sim::make_disjoint_random_workload(4, workload, 51);
   for (int c = 0; c < 4; ++c) {
@@ -51,33 +57,49 @@ Row run_one(const char* notation, llc::SetMapping mapping,
   return row;
 }
 
-int run() {
-  bench::print_header("Ablation: set-index mapping independence",
-                      "Wu & Patel, DAC'22, Section 2 (mapping-agnostic "
-                      "analysis)");
-  Table table({"config", "mapping", "range", "observed WCL",
-               "analytical WCL", "makespan"});
+int run(bench::BenchContext& ctx) {
+  bench::print_header(kTitle, kReference);
+  const int accesses = ctx.pick(15000, 3000);
+
+  results::BenchResult res(
+      ctx.make_meta("ablation_mapping", kTitle, kReference));
+  res.meta().set_param("seed", "51");
+  res.meta().set_param("accesses_per_core", std::to_string(accesses));
+  auto& series = res.add_series(
+      "mapping_wcl",
+      {{"config", results::ColumnType::kText, results::ColumnKind::kExact,
+        ""},
+       {"mapping", results::ColumnType::kText, results::ColumnKind::kExact,
+        ""},
+       {"range_bytes", results::ColumnType::kInt,
+        results::ColumnKind::kExact, "bytes"},
+       {"observed_wcl", results::ColumnType::kInt,
+        results::ColumnKind::kTiming, "cycles"},
+       {"analytical_wcl", results::ColumnType::kInt,
+        results::ColumnKind::kExact, "cycles"},
+       {"makespan", results::ColumnType::kInt, results::ColumnKind::kTiming,
+        "cycles"}});
   bool all_ok = true;
   for (const char* notation : {"SS(2,4,4)", "NSS(2,4,4)", "SS(32,4,4)"}) {
     for (const auto mapping :
          {llc::SetMapping::kModulo, llc::SetMapping::kXorFold}) {
       for (const std::int64_t range : {4096, 32768}) {
-        const Row row = run_one(notation, mapping, range);
+        const Row row = run_one(notation, mapping, range, accesses);
         all_ok = all_ok && row.ok;
-        table.add_row({notation, to_string(mapping), std::to_string(range),
-                       format_cycles(row.observed),
-                       format_cycles(row.bound),
-                       format_cycles(row.makespan)});
+        series.add_row({results::Value::of_text(notation),
+                        results::Value::of_text(to_string(mapping)),
+                        results::Value::of_int(range),
+                        results::Value::of_int(row.observed),
+                        results::Value::of_int(row.bound),
+                        results::Value::of_cycles(row.makespan,
+                                                  row.makespan > 0)});
       }
     }
   }
-  std::printf("%s\n", table.to_text().c_str());
-  bench::save_csv(table, "ablation_mapping");
-  std::printf("claim check: bounds hold under both mappings: %s\n",
-              all_ok ? "PASS" : "FAIL");
-  return all_ok ? 0 : 1;
+  res.add_claim("bounds hold under both mappings", all_ok);
+  return bench::finish_bench(ctx, res);
 }
 
 }  // namespace
 
-int main() { return run(); }
+PSLLC_REGISTER_BENCH(ablation_mapping, run)

@@ -4,9 +4,11 @@
 // conflict-heavy Figure 7 workload under five policies and shows the
 // observed WCL stays within the (policy-independent) analytical bound for
 // each.
-#include <cstdio>
+#include <string>
+#include <utility>
 
 #include "bench/bench_util.h"
+#include "bench/registry.h"
 #include "sim/runner.h"
 #include "sim/workload.h"
 
@@ -15,14 +17,16 @@ namespace {
 using namespace psllc;       // NOLINT
 using namespace psllc::sim;  // NOLINT
 
-int run() {
-  bench::print_header("Ablation: replacement policy independence",
-                      "Wu & Patel, DAC'22, Section 4.3 (policy-agnostic "
-                      "analysis)");
+constexpr char kTitle[] = "Ablation: replacement policy independence";
+constexpr char kReference[] =
+    "Wu & Patel, DAC'22, Section 4.3 (policy-agnostic analysis)";
+
+int run(bench::BenchContext& ctx) {
+  bench::print_header(kTitle, kReference);
 
   RandomWorkloadOptions workload;
   workload.range_bytes = 16384;
-  workload.accesses = 20000;
+  workload.accesses = ctx.pick(20000, 4000);
   workload.write_fraction = 0.25;
 
   const mem::ReplacementKind kinds[] = {
@@ -32,8 +36,26 @@ int run() {
   const std::pair<const char*, int> configs[] = {{"SS(1,4,4)", 4},
                                                  {"NSS(1,4,4)", 4},
                                                  {"P(1,4)", 4}};
-  Table table({"config", "policy", "observed WCL", "analytical WCL",
-               "makespan", "bound holds"});
+
+  results::BenchResult res(
+      ctx.make_meta("ablation_replacement", kTitle, kReference));
+  res.meta().set_param("seed", "21");
+  res.meta().set_param("accesses_per_core",
+                       std::to_string(workload.accesses));
+  auto& series = res.add_series(
+      "policy_wcl",
+      {{"config", results::ColumnType::kText, results::ColumnKind::kExact,
+        ""},
+       {"policy", results::ColumnType::kText, results::ColumnKind::kExact,
+        ""},
+       {"observed_wcl", results::ColumnType::kInt,
+        results::ColumnKind::kTiming, "cycles"},
+       {"analytical_wcl", results::ColumnType::kInt,
+        results::ColumnKind::kExact, "cycles"},
+       {"makespan", results::ColumnType::kInt, results::ColumnKind::kTiming,
+        "cycles"},
+       {"bound_holds", results::ColumnType::kText,
+        results::ColumnKind::kExact, ""}});
   bool all_hold = true;
   for (const auto& [notation, cores] : configs) {
     for (const auto kind : kinds) {
@@ -44,20 +66,20 @@ int run() {
       const bool holds =
           metrics.completed && metrics.observed_wcl <= metrics.analytical_wcl;
       all_hold = all_hold && holds;
-      table.add_row({notation, to_string(kind),
-                     format_cycles(metrics.observed_wcl),
-                     format_cycles(metrics.analytical_wcl),
-                     format_cycles(metrics.makespan),
-                     holds ? "yes" : "NO"});
+      series.add_row({results::Value::of_text(notation),
+                      results::Value::of_text(to_string(kind)),
+                      results::Value::of_cycles(metrics.observed_wcl,
+                                                metrics.completed),
+                      results::Value::of_int(metrics.analytical_wcl),
+                      results::Value::of_cycles(metrics.makespan,
+                                                metrics.completed),
+                      results::Value::of_text(holds ? "yes" : "NO")});
     }
   }
-  std::printf("%s\n", table.to_text().c_str());
-  bench::save_csv(table, "ablation_replacement");
-  std::printf("claim check: bounds hold under every policy: %s\n",
-              all_hold ? "PASS" : "FAIL");
-  return all_hold ? 0 : 1;
+  res.add_claim("bounds hold under every policy", all_hold);
+  return bench::finish_bench(ctx, res);
 }
 
 }  // namespace
 
-int main() { return run(); }
+PSLLC_REGISTER_BENCH(ablation_replacement, run)

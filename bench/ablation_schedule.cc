@@ -3,9 +3,10 @@
 // Theorem 4.8 for 1S-TDM; empirically, FIFO ordering alone excludes the
 // Section 4.1 starvation pattern. This bench sweeps interferer slot weights
 // and compares NSS (starves) against SS (bounded wait).
-#include <cstdio>
+#include <string>
 
 #include "bench/bench_util.h"
+#include "bench/registry.h"
 #include "core/system.h"
 #include "sim/workload.h"
 
@@ -13,6 +14,11 @@ namespace {
 
 using namespace psllc;        // NOLINT
 using namespace psllc::core;  // NOLINT
+
+constexpr char kTitle[] =
+    "Ablation: set sequencer under weighted (non-1S) TDM schedules";
+constexpr char kReference[] =
+    "extension of Wu & Patel, DAC'22, Sections 4.1-4.2";
 
 struct Outcome {
   bool completed = false;
@@ -54,22 +60,39 @@ Outcome run_variant(llc::ContentionMode mode, int interferer_weight,
   return outcome;
 }
 
-int run() {
-  bench::print_header(
-      "Ablation: set sequencer under weighted (non-1S) TDM schedules",
-      "extension of Wu & Patel, DAC'22, Sections 4.1-4.2");
+int run(bench::BenchContext& ctx) {
+  bench::print_header(kTitle, kReference);
+  const std::int64_t horizon = ctx.pick<std::int64_t>(20000, 8000);
 
-  Table table({"interferer slots/period", "mode", "cua completed",
-               "cua wait (cycles)"});
+  results::BenchResult res(
+      ctx.make_meta("ablation_schedule", kTitle, kReference));
+  res.meta().set_param("horizon_slots", std::to_string(horizon));
+  auto& series = res.add_series(
+      "weighted_tdm",
+      {{"interferer_slots", results::ColumnType::kInt,
+        results::ColumnKind::kExact, ""},
+       {"mode", results::ColumnType::kText, results::ColumnKind::kExact,
+        ""},
+       {"cua_completed", results::ColumnType::kText,
+        results::ColumnKind::kExact, ""},
+       {"cua_wait", results::ColumnType::kInt, results::ColumnKind::kTiming,
+        "cycles"},
+       {"interferer_ops", results::ColumnType::kInt,
+        results::ColumnKind::kTiming, ""}});
   bool nss_starves = true;
   bool ss_bounded = true;
   for (const int weight : {1, 2, 3, 4}) {
     for (const auto mode : {llc::ContentionMode::kBestEffort,
                             llc::ContentionMode::kSetSequencer}) {
-      const Outcome outcome = run_variant(mode, weight, 20000);
-      table.add_row({std::to_string(weight), to_string(mode),
-                     outcome.completed ? "yes" : "NO (starving)",
-                     format_cycles(outcome.wait)});
+      const Outcome outcome = run_variant(mode, weight, horizon);
+      series.add_row(
+          {results::Value::of_int(weight),
+           results::Value::of_text(to_string(mode)),
+           results::Value::of_text(outcome.completed ? "yes"
+                                                     : "NO (starving)"),
+           results::Value::of_int(static_cast<std::int64_t>(outcome.wait)),
+           results::Value::of_int(
+               static_cast<std::int64_t>(outcome.interferer_ops))});
       if (mode == llc::ContentionMode::kBestEffort && weight > 1) {
         nss_starves = nss_starves && !outcome.completed;
       }
@@ -78,15 +101,11 @@ int run() {
       }
     }
   }
-  std::printf("%s\n", table.to_text().c_str());
-  bench::save_csv(table, "ablation_schedule");
-  std::printf("claim check: NSS starves for every multi-slot weight: %s\n",
-              nss_starves ? "PASS" : "FAIL");
-  std::printf("claim check: SS completes for every weight: %s\n",
-              ss_bounded ? "PASS" : "FAIL");
-  return nss_starves && ss_bounded ? 0 : 1;
+  res.add_claim("NSS starves for every multi-slot weight", nss_starves);
+  res.add_claim("SS completes for every weight", ss_bounded);
+  return bench::finish_bench(ctx, res);
 }
 
 }  // namespace
 
-int main() { return run(); }
+PSLLC_REGISTER_BENCH(ablation_schedule, run)

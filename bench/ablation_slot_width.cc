@@ -2,9 +2,10 @@
 // S_W (Theorems 4.7/4.8 count slots); a narrower slot lowers latency bounds
 // but must still absorb an LLC fill (lookup + DRAM). This bench sweeps S_W
 // and reports bounds, observed WCL, and execution time.
-#include <cstdio>
+#include <string>
 
 #include "bench/bench_util.h"
+#include "bench/registry.h"
 #include "sim/runner.h"
 #include "sim/workload.h"
 
@@ -13,18 +14,35 @@ namespace {
 using namespace psllc;       // NOLINT
 using namespace psllc::sim;  // NOLINT
 
-int run() {
-  bench::print_header("Ablation: TDM slot width sweep",
-                      "Wu & Patel, DAC'22, system model Section 3 (slot-"
-                      "based bounds)");
+constexpr char kTitle[] = "Ablation: TDM slot width sweep";
+constexpr char kReference[] =
+    "Wu & Patel, DAC'22, system model Section 3 (slot-based bounds)";
+
+int run(bench::BenchContext& ctx) {
+  bench::print_header(kTitle, kReference);
 
   RandomWorkloadOptions workload;
   workload.range_bytes = 8192;
-  workload.accesses = 15000;
+  workload.accesses = ctx.pick(15000, 3000);
   workload.write_fraction = 0.25;
 
-  Table table({"S_W (cycles)", "analytical WCL (SS)", "observed WCL",
-               "makespan", "bound holds"});
+  results::BenchResult res(
+      ctx.make_meta("ablation_slot_width", kTitle, kReference));
+  res.meta().set_param("seed", "31");
+  res.meta().set_param("accesses_per_core",
+                       std::to_string(workload.accesses));
+  auto& series = res.add_series(
+      "slot_width",
+      {{"slot_width", results::ColumnType::kInt,
+        results::ColumnKind::kExact, "cycles"},
+       {"analytical_wcl", results::ColumnType::kInt,
+        results::ColumnKind::kExact, "cycles"},
+       {"observed_wcl", results::ColumnType::kInt,
+        results::ColumnKind::kTiming, "cycles"},
+       {"makespan", results::ColumnType::kInt, results::ColumnKind::kTiming,
+        "cycles"},
+       {"bound_holds", results::ColumnType::kText,
+        results::ColumnKind::kExact, ""}});
   bool all_hold = true;
   for (const Cycle slot_width : {35, 50, 75, 100, 200}) {
     auto setup = core::make_paper_setup("SS(1,4,4)", 4);
@@ -34,19 +52,18 @@ int run() {
     const bool holds =
         metrics.completed && metrics.observed_wcl <= metrics.analytical_wcl;
     all_hold = all_hold && holds;
-    table.add_row({std::to_string(slot_width),
-                   format_cycles(metrics.analytical_wcl),
-                   format_cycles(metrics.observed_wcl),
-                   format_cycles(metrics.makespan),
-                   holds ? "yes" : "NO"});
+    series.add_row({results::Value::of_int(slot_width),
+                    results::Value::of_int(metrics.analytical_wcl),
+                    results::Value::of_cycles(metrics.observed_wcl,
+                                              metrics.completed),
+                    results::Value::of_cycles(metrics.makespan,
+                                              metrics.completed),
+                    results::Value::of_text(holds ? "yes" : "NO")});
   }
-  std::printf("%s\n", table.to_text().c_str());
-  bench::save_csv(table, "ablation_slot_width");
-  std::printf("claim check: bounds scale with S_W and hold: %s\n",
-              all_hold ? "PASS" : "FAIL");
-  return all_hold ? 0 : 1;
+  res.add_claim("bounds scale with S_W and hold", all_hold);
+  return bench::finish_bench(ctx, res);
 }
 
 }  // namespace
 
-int main() { return run(); }
+PSLLC_REGISTER_BENCH(ablation_slot_width, run)

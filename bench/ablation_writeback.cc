@@ -3,9 +3,11 @@
 // hardware optimization acknowledges clean private copies silently. This
 // bench compares both modes: latency improves (especially for read-heavy
 // workloads), and the paper-mode analytical bounds remain conservative.
-#include <cstdio>
+#include <string>
+#include <utility>
 
 #include "bench/bench_util.h"
+#include "bench/registry.h"
 #include "sim/runner.h"
 #include "sim/workload.h"
 
@@ -14,21 +16,40 @@ namespace {
 using namespace psllc;       // NOLINT
 using namespace psllc::sim;  // NOLINT
 
-int run() {
-  bench::print_header(
-      "Ablation: clean back-invalidation costs a slot (paper) vs silent ack",
-      "model decision from Figures 2-4 (every eviction shows 'WB l')");
+constexpr char kTitle[] =
+    "Ablation: clean back-invalidation costs a slot (paper) vs silent ack";
+constexpr char kReference[] =
+    "model decision from Figures 2-4 (every eviction shows 'WB l')";
+
+int run(bench::BenchContext& ctx) {
+  bench::print_header(kTitle, kReference);
 
   RandomWorkloadOptions workload;
   workload.range_bytes = 16384;
-  workload.accesses = 20000;
+  workload.accesses = ctx.pick(20000, 4000);
   workload.write_fraction = 0.1;  // read-heavy: most copies are clean
 
   const std::pair<const char*, int> configs[] = {{"SS(1,4,4)", 4},
                                                  {"NSS(1,4,4)", 4},
                                                  {"P(1,4)", 4}};
-  Table table({"config", "clean WB mode", "observed WCL", "analytical WCL",
-               "makespan"});
+
+  results::BenchResult res(
+      ctx.make_meta("ablation_writeback", kTitle, kReference));
+  res.meta().set_param("seed", "41");
+  res.meta().set_param("accesses_per_core",
+                       std::to_string(workload.accesses));
+  auto& series = res.add_series(
+      "clean_writeback",
+      {{"config", results::ColumnType::kText, results::ColumnKind::kExact,
+        ""},
+       {"clean_wb_mode", results::ColumnType::kText,
+        results::ColumnKind::kExact, ""},
+       {"observed_wcl", results::ColumnType::kInt,
+        results::ColumnKind::kTiming, "cycles"},
+       {"analytical_wcl", results::ColumnType::kInt,
+        results::ColumnKind::kExact, "cycles"},
+       {"makespan", results::ColumnType::kInt, results::ColumnKind::kTiming,
+        "cycles"}});
   bool bounds_hold = true;
   bool silent_not_slower = true;
   for (const auto& [notation, cores] : configs) {
@@ -46,21 +67,21 @@ int run() {
         silent_not_slower =
             silent_not_slower && metrics.makespan <= paper_makespan;
       }
-      table.add_row({notation, costs_slot ? "slot (paper)" : "silent",
-                     format_cycles(metrics.observed_wcl),
-                     format_cycles(metrics.analytical_wcl),
-                     format_cycles(metrics.makespan)});
+      series.add_row({results::Value::of_text(notation),
+                      results::Value::of_text(costs_slot ? "slot (paper)"
+                                                         : "silent"),
+                      results::Value::of_cycles(metrics.observed_wcl,
+                                                metrics.completed),
+                      results::Value::of_int(metrics.analytical_wcl),
+                      results::Value::of_cycles(metrics.makespan,
+                                                metrics.completed)});
     }
   }
-  std::printf("%s\n", table.to_text().c_str());
-  bench::save_csv(table, "ablation_writeback");
-  std::printf("claim check: paper-mode bounds stay conservative: %s\n",
-              bounds_hold ? "PASS" : "FAIL");
-  std::printf("claim check: silent acks never slower: %s\n",
-              silent_not_slower ? "PASS" : "FAIL");
-  return bounds_hold ? 0 : 1;
+  res.add_claim("paper-mode bounds stay conservative", bounds_hold);
+  res.add_claim("silent acks never slower", silent_not_slower);
+  return bench::finish_bench(ctx, res);
 }
 
 }  // namespace
 
-int main() { return run(); }
+PSLLC_REGISTER_BENCH(ablation_writeback, run)

@@ -8,14 +8,22 @@
 //    Theorem 4.8 stays flat (the WCL becomes independent of cache and
 //    partition sizes).
 #include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/registry.h"
 #include "core/wcl_analysis.h"
 
 namespace {
 
 using namespace psllc;        // NOLINT
 using namespace psllc::core;  // NOLINT
+
+constexpr char kTitle[] = "Analytical WCL bounds (Theorems 4.7 / 4.8)";
+constexpr char kReference[] =
+    "Wu & Patel, DAC'22, Sections 4.4-4.5 + Figure 7 lines";
 
 SharedPartitionScenario scenario(int sets, int ways, int n, int m_cua = 64) {
   SharedPartitionScenario s;
@@ -27,26 +35,56 @@ SharedPartitionScenario scenario(int sets, int ways, int n, int m_cua = 64) {
   return s;
 }
 
-int run() {
-  bench::print_header("Analytical WCL bounds (Theorems 4.7 / 4.8)",
-                      "Wu & Patel, DAC'22, Sections 4.4-4.5 + Figure 7 lines");
+// Everything in this bench is closed-form analysis: every column is exact,
+// and any drift across commits is a regression in the bounds themselves.
+constexpr auto kExact = results::ColumnKind::kExact;
+constexpr auto kInt = results::ColumnType::kInt;
+constexpr auto kReal = results::ColumnType::kReal;
+constexpr auto kText = results::ColumnType::kText;
+
+int run(bench::BenchContext& ctx) {
+  bench::print_header(kTitle, kReference);
+
+  results::BenchResult res(
+      ctx.make_meta("analysis_bounds", kTitle, kReference));
 
   // --- Figure 7 analytical lines ---
-  Table lines({"configuration", "bound", "cycles", "paper"});
-  lines.add_row({"SS(n=4)", "Thm 4.8",
-                 format_cycles(wcl_set_sequencer_cycles(scenario(1, 2, 4))),
-                 "5,000"});
-  lines.add_row({"NSS(1,16,4) m=16", "Thm 4.7",
-                 format_cycles(wcl_1s_tdm_cycles(scenario(1, 16, 4))),
-                 "979,250"});
-  lines.add_row({"P (private)", "2N+1 slots",
-                 format_cycles(wcl_private_cycles(4, kPaperSlotWidth)),
-                 "450"});
-  std::printf("%s\n", lines.to_text().c_str());
-  bench::save_csv(lines, "analysis_fig7_lines");
+  auto& lines = res.add_series("fig7_lines",
+                               {{"configuration", kText, kExact, ""},
+                                {"bound", kText, kExact, ""},
+                                {"cycles", kInt, kExact, "cycles"},
+                                {"paper_cycles", kInt, kExact, "cycles"}});
+  lines.add_row({results::Value::of_text("SS(n=4)"),
+                 results::Value::of_text("Thm 4.8"),
+                 results::Value::of_int(
+                     wcl_set_sequencer_cycles(scenario(1, 2, 4))),
+                 results::Value::of_int(5000)});
+  lines.add_row({results::Value::of_text("NSS(1,16,4) m=16"),
+                 results::Value::of_text("Thm 4.7"),
+                 results::Value::of_int(wcl_1s_tdm_cycles(scenario(1, 16, 4))),
+                 results::Value::of_int(979250)});
+  lines.add_row({results::Value::of_text("P (private)"),
+                 results::Value::of_text("2N+1 slots"),
+                 results::Value::of_int(
+                     wcl_private_cycles(4, kPaperSlotWidth)),
+                 results::Value::of_int(450)});
 
   // --- Section 4.5 improvement example ---
-  auto example = scenario(8, 16, 4, /*m_cua=*/128);  // 128-line 16-way LLC
+  const auto example =
+      scenario(8, 16, 4, /*m_cua=*/128);  // 128-line 16-way LLC
+  auto& improvement =
+      res.add_series("improvement_example",
+                     {{"m_lines", kInt, kExact, ""},
+                      {"thm47_bound", kInt, kExact, "cycles"},
+                      {"thm48_bound", kInt, kExact, "cycles"},
+                      {"exact_ratio", kReal, kExact, "ratio"},
+                      {"paper_envelope", kInt, kExact, "ratio"}});
+  improvement.add_row(
+      {results::Value::of_int(example.m()),
+       results::Value::of_int(wcl_1s_tdm_cycles(example)),
+       results::Value::of_int(wcl_set_sequencer_cycles(example)),
+       results::Value::of_real(wcl_improvement_ratio(example)),
+       results::Value::of_int((example.m() + 1) * example.partition_ways)});
   std::printf(
       "Section 4.5 example (4 cores, 16-way, 128-line LLC, m = %d):\n"
       "  Thm 4.7 bound: %s cycles\n"
@@ -58,40 +96,43 @@ int run() {
       (example.m() + 1) * example.partition_ways);
 
   // --- bound vs partition size sweep ---
-  Table sweep({"partition (sets x ways)", "M lines", "Thm 4.7 (cycles)",
-               "Thm 4.8 (cycles)", "ratio"});
+  auto& sweep = res.add_series("bound_sweep",
+                               {{"partition", kText, kExact, ""},
+                                {"m_lines", kInt, kExact, ""},
+                                {"thm47_bound", kInt, kExact, "cycles"},
+                                {"thm48_bound", kInt, kExact, "cycles"},
+                                {"ratio", kReal, kExact, "ratio"}});
   for (const auto& [sets, ways] : std::vector<std::pair<int, int>>{
            {1, 2}, {1, 4}, {1, 16}, {4, 4}, {8, 8}, {16, 16}, {32, 16}}) {
     const auto s = scenario(sets, ways, 4);
-    sweep.add_row({std::to_string(sets) + "x" + std::to_string(ways),
-                   std::to_string(s.partition_lines()),
-                   format_cycles(wcl_1s_tdm_cycles(s)),
-                   format_cycles(wcl_set_sequencer_cycles(s)),
-                   format_double(wcl_improvement_ratio(s), 1)});
+    sweep.add_row({results::Value::of_text(std::to_string(sets) + "x" +
+                                           std::to_string(ways)),
+                   results::Value::of_int(s.partition_lines()),
+                   results::Value::of_int(wcl_1s_tdm_cycles(s)),
+                   results::Value::of_int(wcl_set_sequencer_cycles(s)),
+                   results::Value::of_real(wcl_improvement_ratio(s))});
   }
-  std::printf("%s\n", sweep.to_text().c_str());
-  bench::save_csv(sweep, "analysis_bound_sweep");
 
   // --- sharer count sweep (the cubic term) ---
-  Table sharers({"n sharers", "Thm 4.7 (cycles)", "Thm 4.8 (cycles)"});
+  auto& sharers = res.add_series("sharer_sweep",
+                                 {{"sharers", kInt, kExact, ""},
+                                  {"thm47_bound", kInt, kExact, "cycles"},
+                                  {"thm48_bound", kInt, kExact, "cycles"}});
   for (int n = 2; n <= 4; ++n) {
     const auto s = scenario(1, 4, n);
-    sharers.add_row({std::to_string(n),
-                     format_cycles(wcl_1s_tdm_cycles(s)),
-                     format_cycles(wcl_set_sequencer_cycles(s))});
+    sharers.add_row({results::Value::of_int(n),
+                     results::Value::of_int(wcl_1s_tdm_cycles(s)),
+                     results::Value::of_int(wcl_set_sequencer_cycles(s))});
   }
-  std::printf("%s\n", sharers.to_text().c_str());
-  bench::save_csv(sharers, "analysis_sharer_sweep");
 
   const bool exact =
       wcl_set_sequencer_cycles(scenario(1, 2, 4)) == 5000 &&
       wcl_1s_tdm_cycles(scenario(1, 16, 4)) == 979250 &&
       wcl_private_cycles(4, kPaperSlotWidth) == 450;
-  std::printf("claim check: Figure 7 analytical lines match exactly: %s\n",
-              exact ? "PASS" : "FAIL");
-  return exact ? 0 : 1;
+  res.add_claim("Figure 7 analytical lines match exactly", exact);
+  return bench::finish_bench(ctx, res);
 }
 
 }  // namespace
 
-int main() { return run(); }
+PSLLC_REGISTER_BENCH(analysis_bounds, run)

@@ -1,0 +1,8 @@
+// Shared main() for the standalone per-bench executables. Each bench
+// target links exactly one bench translation unit (which registers itself)
+// plus this file; run_all links every bench with its own driver instead.
+#include "bench/registry.h"
+
+int main(int argc, char** argv) {
+  return psllc::bench::bench_single_main(argc, argv);
+}

@@ -1,12 +1,11 @@
-// Shared helpers for the figure/ablation bench executables.
+// Shared helpers for the figure/ablation bench executables. CSV/JSON
+// emission goes through the result store (see bench/registry.h and
+// src/results/result_store.h); this header keeps only console helpers.
 #ifndef PSLLC_BENCH_BENCH_UTIL_H_
 #define PSLLC_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
-#include <filesystem>
 #include <string>
-
-#include "common/table.h"
 
 namespace psllc::bench {
 
@@ -16,20 +15,6 @@ inline void print_header(const std::string& title,
   std::printf("%s\n", title.c_str());
   std::printf("Reproduces: %s\n", reference.c_str());
   std::printf("==============================================================\n");
-}
-
-/// Writes `table` to bench_results/<name>.csv next to the working directory
-/// (best effort: failures are reported but not fatal so benches stay
-/// usable in read-only checkouts).
-inline void save_csv(const Table& table, const std::string& name) {
-  try {
-    std::filesystem::create_directories("bench_results");
-    const std::string path = "bench_results/" + name + ".csv";
-    table.write_csv(path);
-    std::printf("[csv] %s\n", path.c_str());
-  } catch (const std::exception& e) {
-    std::printf("[csv] skipped (%s)\n", e.what());
-  }
 }
 
 }  // namespace psllc::bench

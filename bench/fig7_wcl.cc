@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "bench/registry.h"
 #include "core/wcl_analysis.h"
 #include "sim/experiment.h"
 
@@ -19,23 +20,33 @@ namespace {
 using namespace psllc;       // NOLINT
 using namespace psllc::sim;  // NOLINT
 
-int run() {
-  bench::print_header(
-      "Figure 7: observed WCL vs analytical bounds (1-set partitions)",
-      "Wu & Patel, DAC'22, Section 5.1, Figure 7");
+constexpr char kTitle[] =
+    "Figure 7: observed WCL vs analytical bounds (1-set partitions)";
+constexpr char kReference[] = "Wu & Patel, DAC'22, Section 5.1, Figure 7";
+
+int run(bench::BenchContext& ctx) {
+  bench::print_header(kTitle, kReference);
 
   SweepOptions options;
-  options.accesses_per_core = 20000;
+  options.accesses_per_core = ctx.pick(20000, 4000);
+  if (ctx.quick()) {
+    options.address_ranges = {1024, 8192, 65536};
+  }
   options.write_fraction = 0.25;
   options.seed = 7;
+  options.threads = ctx.threads;
   const std::vector<SweepConfig> configs = {
       {"SS(1,2,4)", 4}, {"SS(1,4,4)", 4}, {"NSS(1,2,4)", 4},
       {"NSS(1,4,4)", 4}, {"P(1,2)", 4},   {"P(1,4)", 4},
   };
   const SweepResult result = run_sweep(configs, options);
-  const Table table = wcl_table(result);
-  std::printf("%s\n", table.to_text().c_str());
-  bench::save_csv(table, "fig7_wcl");
+
+  results::BenchResult res(ctx.make_meta("fig7_wcl", kTitle, kReference));
+  res.meta().set_param("seed", std::to_string(options.seed));
+  res.meta().set_param("accesses_per_core",
+                       std::to_string(options.accesses_per_core));
+  res.add_series(observed_wcl_series(result));
+  res.add_series(analytical_wcl_series(result));
 
   // The paper's quoted analytical lines for the figure.
   core::SharedPartitionScenario nss_quoted;
@@ -45,7 +56,7 @@ int run() {
               format_cycles(core::wcl_1s_tdm_cycles(nss_quoted)).c_str(),
               format_cycles(core::wcl_private_cycles(4, 50)).c_str());
 
-  // Check the three claims programmatically and report.
+  // Check the claims programmatically and report.
   bool bounds_hold = true;
   bool nss_above_ss = true;
   for (int r = 0; r < static_cast<int>(result.ranges.size()); ++r) {
@@ -60,13 +71,12 @@ int run() {
                    result.cell(r, 3).metrics.observed_wcl >=
                        result.cell(r, 1).metrics.observed_wcl;
   }
-  std::printf("claim check: observed <= analytical everywhere: %s\n",
-              bounds_hold ? "PASS" : "FAIL");
-  std::printf("claim check: NSS observed >= SS observed (per range/ways): %s\n",
-              nss_above_ss ? "PASS" : "FAIL");
-  return bounds_hold ? 0 : 1;
+  res.add_claim("observed <= analytical everywhere", bounds_hold);
+  res.add_claim("NSS observed >= SS observed (per range/ways)",
+                nss_above_ss);
+  return bench::finish_bench(ctx, res);
 }
 
 }  // namespace
 
-int main() { return run(); }
+PSLLC_REGISTER_BENCH(fig7_wcl, run)

@@ -4,46 +4,53 @@
 #ifndef PSLLC_BENCH_FIG8_COMMON_H_
 #define PSLLC_BENCH_FIG8_COMMON_H_
 
-#include <cstdio>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/registry.h"
 #include "sim/experiment.h"
 
 namespace psllc::bench {
 
 struct Fig8Panel {
+  std::string bench_name;  ///< result-store directory name
   std::string title;
   std::string reference;
-  std::string csv_name;
   std::vector<sim::SweepConfig> configs;
   /// Pairs (shared config, P baseline) whose mean speedup is reported, as
   /// in the paper's "SS achieves an average speedup of X x".
   std::vector<std::pair<std::string, std::string>> speedups;
 };
 
-inline int run_fig8_panel(const Fig8Panel& panel) {
+inline int run_fig8_panel(const Fig8Panel& panel, BenchContext& ctx) {
   print_header(panel.title, panel.reference);
   sim::SweepOptions options;
-  options.accesses_per_core = 20000;
+  options.accesses_per_core = ctx.pick(20000, 4000);
+  if (ctx.quick()) {
+    options.address_ranges = {1024, 8192, 65536};
+  }
   options.write_fraction = 0.25;
   options.seed = 8;
+  options.threads = ctx.threads;
   const sim::SweepResult result = sim::run_sweep(panel.configs, options);
-  const Table table = sim::exec_time_table(result);
-  std::printf("%s\n", table.to_text().c_str());
-  save_csv(table, panel.csv_name);
+
+  results::BenchResult res(
+      ctx.make_meta(panel.bench_name, panel.title, panel.reference));
+  res.meta().set_param("seed", std::to_string(options.seed));
+  res.meta().set_param("accesses_per_core",
+                       std::to_string(options.accesses_per_core));
+  res.add_series(sim::exec_time_series(result));
+  if (!panel.speedups.empty()) {
+    res.add_series(sim::speedup_series(result, panel.speedups));
+  }
 
   bool all_completed = true;
   for (const auto& cell : result.cells) {
     all_completed = all_completed && cell.metrics.completed;
   }
-  for (const auto& [shared, baseline] : panel.speedups) {
-    std::printf("mean speedup of %s over %s: %.2fx\n", shared.c_str(),
-                baseline.c_str(),
-                sim::mean_speedup(result, shared, baseline));
-  }
+  res.add_claim("all configurations completed", all_completed);
   // The paper's equality claim: while the address range fits the per-core
   // share of the capacity, all configurations behave identically.
   const auto& first_range_ss = result.cell(0, 0).metrics;
@@ -53,9 +60,9 @@ inline int run_fig8_panel(const Fig8Panel& panel) {
                         result.cell(0, c).metrics.makespan ==
                             first_range_ss.makespan;
   }
-  std::printf("claim check: identical execution time at 1 KiB range: %s\n",
-              small_range_equal ? "PASS" : "FAIL");
-  return all_completed ? 0 : 1;
+  res.add_claim("identical execution time at 1 KiB range",
+                small_range_equal);
+  return finish_bench(ctx, res);
 }
 
 }  // namespace psllc::bench

@@ -7,11 +7,13 @@
 // Both baselines are reported; see EXPERIMENTS.md.
 #include "bench/fig8_common.h"
 
-int main() {
+namespace {
+
+int run(psllc::bench::BenchContext& ctx) {
   psllc::bench::Fig8Panel panel;
+  panel.bench_name = "fig8a_2core_4k";
   panel.title = "Figure 8a: execution time, 2-core, 4096 B partition";
   panel.reference = "Wu & Patel, DAC'22, Section 5.2, Figure 8a";
-  panel.csv_name = "fig8a_2core_4k";
   panel.configs = {{"SS(32,2,2)", 2},
                    {"NSS(32,2,2)", 2},
                    {"P(8,2)", 2},
@@ -19,5 +21,9 @@ int main() {
   panel.speedups = {{"SS(32,2,2)", "P(8,2)"},
                     {"SS(32,2,2)", "P(16,2)"},
                     {"SS(32,2,2)", "NSS(32,2,2)"}};
-  return psllc::bench::run_fig8_panel(panel);
+  return psllc::bench::run_fig8_panel(panel, ctx);
 }
+
+}  // namespace
+
+PSLLC_REGISTER_BENCH(fig8a_2core_4k, run)

@@ -2,11 +2,13 @@
 // vs P(8,4) (caption) and P(16,4) (capacity-equal split, see fig8a note).
 #include "bench/fig8_common.h"
 
-int main() {
+namespace {
+
+int run(psllc::bench::BenchContext& ctx) {
   psllc::bench::Fig8Panel panel;
+  panel.bench_name = "fig8b_2core_8k";
   panel.title = "Figure 8b: execution time, 2-core, 8192 B partition";
   panel.reference = "Wu & Patel, DAC'22, Section 5.2, Figure 8b";
-  panel.csv_name = "fig8b_2core_8k";
   panel.configs = {{"SS(32,4,2)", 2},
                    {"NSS(32,4,2)", 2},
                    {"P(8,4)", 2},
@@ -14,5 +16,9 @@ int main() {
   panel.speedups = {{"SS(32,4,2)", "P(8,4)"},
                     {"SS(32,4,2)", "P(16,4)"},
                     {"SS(32,4,2)", "NSS(32,4,2)"}};
-  return psllc::bench::run_fig8_panel(panel);
+  return psllc::bench::run_fig8_panel(panel, ctx);
 }
+
+}  // namespace
+
+PSLLC_REGISTER_BENCH(fig8b_2core_8k, run)

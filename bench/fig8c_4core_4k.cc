@@ -2,13 +2,19 @@
 // vs P(8,2). Here the caption's P(8,2) x 4 = 4096 B is capacity-equal.
 #include "bench/fig8_common.h"
 
-int main() {
+namespace {
+
+int run(psllc::bench::BenchContext& ctx) {
   psllc::bench::Fig8Panel panel;
+  panel.bench_name = "fig8c_4core_4k";
   panel.title = "Figure 8c: execution time, 4-core, 4096 B partition";
   panel.reference = "Wu & Patel, DAC'22, Section 5.2, Figure 8c";
-  panel.csv_name = "fig8c_4core_4k";
   panel.configs = {{"SS(32,2,4)", 4}, {"NSS(32,2,4)", 4}, {"P(8,2)", 4}};
   panel.speedups = {{"SS(32,2,4)", "P(8,2)"},
                     {"SS(32,2,4)", "NSS(32,2,4)"}};
-  return psllc::bench::run_fig8_panel(panel);
+  return psllc::bench::run_fig8_panel(panel, ctx);
 }
+
+}  // namespace
+
+PSLLC_REGISTER_BENCH(fig8c_4core_4k, run)

@@ -2,13 +2,19 @@
 // vs P(8,4). The caption's P(8,4) x 4 = 8192 B is capacity-equal.
 #include "bench/fig8_common.h"
 
-int main() {
+namespace {
+
+int run(psllc::bench::BenchContext& ctx) {
   psllc::bench::Fig8Panel panel;
+  panel.bench_name = "fig8d_4core_8k";
   panel.title = "Figure 8d: execution time, 4-core, 8192 B partition";
   panel.reference = "Wu & Patel, DAC'22, Section 5.2, Figure 8d";
-  panel.csv_name = "fig8d_4core_8k";
   panel.configs = {{"SS(32,4,4)", 4}, {"NSS(32,4,4)", 4}, {"P(8,4)", 4}};
   panel.speedups = {{"SS(32,4,4)", "P(8,4)"},
                     {"SS(32,4,4)", "NSS(32,4,4)"}};
-  return psllc::bench::run_fig8_panel(panel);
+  return psllc::bench::run_fig8_panel(panel, ctx);
 }
+
+}  // namespace
+
+PSLLC_REGISTER_BENCH(fig8d_4core_8k, run)

@@ -1,0 +1,177 @@
+#include "bench/registry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+
+#include "common/assert.h"
+#include "common/string_util.h"
+
+namespace psllc::bench {
+
+std::string to_string(Profile profile) {
+  switch (profile) {
+    case Profile::kFull:
+      return "full";
+    case Profile::kQuick:
+      return "quick";
+  }
+  return "?";
+}
+
+Profile profile_from_string(const std::string& text) {
+  if (iequals(text, "full")) {
+    return Profile::kFull;
+  }
+  if (iequals(text, "quick")) {
+    return Profile::kQuick;
+  }
+  throw ConfigError("unknown profile '" + text + "' (use full or quick)");
+}
+
+results::RunMeta BenchContext::make_meta(std::string bench,
+                                         std::string title,
+                                         std::string reference) const {
+  results::RunMeta meta;
+  meta.bench = std::move(bench);
+  meta.title = std::move(title);
+  meta.reference = std::move(reference);
+  meta.set_param("profile", to_string(profile));
+  meta.set_param("commit", results::current_commit_id());
+  return meta;
+}
+
+int finish_bench(const BenchContext& ctx,
+                 const results::BenchResult& result) {
+  for (const results::Series& series : result.series()) {
+    std::printf("-- %s --\n%s\n", series.name().c_str(),
+                series.to_table().to_text().c_str());
+  }
+  for (const results::Claim& claim : result.claims()) {
+    std::printf("claim check: %s: %s\n", claim.name.c_str(),
+                claim.pass ? "PASS" : "FAIL");
+  }
+  try {
+    result.write(ctx.results_root, ctx.write_csv);
+    std::printf("[results] %s\n",
+                (ctx.results_root / result.meta().bench / "result.json")
+                    .string()
+                    .c_str());
+  } catch (const std::exception& e) {
+    std::printf("[results] skipped (%s)\n", e.what());
+  }
+  return result.all_claims_pass() ? 0 : 1;
+}
+
+namespace {
+
+std::vector<BenchInfo>& mutable_registry() {
+  static std::vector<BenchInfo> registry;
+  return registry;
+}
+
+}  // namespace
+
+void register_bench(const char* name, BenchFn fn) {
+  mutable_registry().push_back(BenchInfo{name, fn});
+}
+
+std::vector<BenchInfo> registered_benches() {
+  std::vector<BenchInfo> benches = mutable_registry();
+  std::sort(benches.begin(), benches.end(),
+            [](const BenchInfo& a, const BenchInfo& b) {
+              return std::strcmp(a.name, b.name) < 0;
+            });
+  return benches;
+}
+
+const BenchInfo* find_bench(const std::string& name) {
+  for (const BenchInfo& bench : mutable_registry()) {
+    if (name == bench.name) {
+      return &bench;
+    }
+  }
+  return nullptr;
+}
+
+namespace {
+
+const char* flag_value(int argc, char** argv, int i, const char* flag) {
+  PSLLC_CONFIG_CHECK(i + 1 < argc, flag << " needs a value");
+  return argv[i + 1];
+}
+
+int parse_positive_int(const char* text, const char* flag) {
+  const auto parsed = parse_i64(text);
+  PSLLC_CONFIG_CHECK(parsed.has_value() && *parsed >= 0 && *parsed <= 4096,
+                     flag << " needs an integer in [0, 4096], got '" << text
+                          << "'");
+  return static_cast<int>(*parsed);
+}
+
+}  // namespace
+
+int parse_common_flag(int argc, char** argv, int i, BenchContext& ctx) {
+  const std::string arg = argv[i];
+  if (arg == "--threads") {
+    ctx.threads = parse_positive_int(flag_value(argc, argv, i, "--threads"),
+                                     "--threads");
+    return 2;
+  }
+  if (arg == "--profile") {
+    ctx.profile =
+        profile_from_string(flag_value(argc, argv, i, "--profile"));
+    return 2;
+  }
+  if (arg == "--results-dir") {
+    ctx.results_root =
+        results::resolve_results_root(
+            flag_value(argc, argv, i, "--results-dir"));
+    return 2;
+  }
+  if (arg == "--no-csv") {
+    ctx.write_csv = false;
+    return 1;
+  }
+  return 0;
+}
+
+const char* common_flags_help() {
+  return "  --threads N        sweep worker threads (0 = hardware concurrency)\n"
+         "  --profile P        workload profile: full (paper grid) or quick (CI grid)\n"
+         "  --results-dir DIR  result-store root (default: $PSLLC_RESULTS_DIR or ./bench_results)\n"
+         "  --no-csv           write only result.json, no per-series CSVs\n";
+}
+
+int bench_single_main(int argc, char** argv) {
+  const std::vector<BenchInfo> benches = registered_benches();
+  PSLLC_ASSERT(benches.size() == 1,
+               "single-bench main linked with " << benches.size()
+                                                << " registered benches");
+  const BenchInfo& bench = benches.front();
+  BenchContext ctx;
+  try {
+    for (int i = 1; i < argc;) {
+      const std::string arg = argv[i];
+      if (arg == "--help" || arg == "-h") {
+        std::printf("usage: %s [options]\n%s", bench.name,
+                    common_flags_help());
+        return 0;
+      }
+      const int consumed = parse_common_flag(argc, argv, i, ctx);
+      if (consumed == 0) {
+        std::fprintf(stderr, "%s: unknown flag '%s' (try --help)\n",
+                     bench.name, arg.c_str());
+        return 2;
+      }
+      i += consumed;
+    }
+    return bench.fn(ctx);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", bench.name, e.what());
+    return 2;
+  }
+}
+
+}  // namespace psllc::bench

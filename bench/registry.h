@@ -1,0 +1,91 @@
+// Bench registry: every figure/ablation bench registers a run function so
+// the same code serves both the standalone per-bench executable (linked
+// with bench_main.cc) and the batched run_all driver. Benches receive a
+// BenchContext carrying the workload profile, the sweep thread budget and
+// the result-store root, and emit their artifacts through finish_bench.
+#ifndef PSLLC_BENCH_REGISTRY_H_
+#define PSLLC_BENCH_REGISTRY_H_
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "results/result_store.h"
+
+namespace psllc::bench {
+
+/// Workload sizing: kFull reproduces the paper's grids; kQuick is the
+/// CI-sized grid diffed against the committed golden baseline under
+/// bench/golden (same claims, fewer ranges/accesses).
+enum class Profile { kFull, kQuick };
+
+[[nodiscard]] std::string to_string(Profile profile);
+[[nodiscard]] Profile profile_from_string(const std::string& text);
+
+struct BenchContext {
+  Profile profile = Profile::kFull;
+  /// Sweep worker budget, forwarded into SweepOptions::threads by
+  /// sweep-based benches. 0 = hardware concurrency.
+  int threads = 0;
+  /// Where bench_results/<bench>/ artifacts land; resolved from
+  /// --results-dir / PSLLC_RESULTS_DIR / ./bench_results.
+  std::filesystem::path results_root = results::resolve_results_root();
+  bool write_csv = true;
+
+  [[nodiscard]] bool quick() const { return profile == Profile::kQuick; }
+  /// Profile-dependent workload sizing, e.g. ctx.pick(20000, 4000).
+  template <typename T>
+  [[nodiscard]] T pick(T full, T quick_value) const {
+    return quick() ? quick_value : full;
+  }
+
+  /// RunMeta pre-filled with the bench identity plus profile and commit
+  /// parameters; benches append their grid parameters (seed, accesses...).
+  [[nodiscard]] results::RunMeta make_meta(std::string bench,
+                                           std::string title,
+                                           std::string reference) const;
+};
+
+/// Prints every series (pretty table) and claim check, writes the result
+/// into the store, and returns the bench exit code: 0 iff all claims
+/// passed. Store write failures are reported but not fatal, so benches
+/// stay usable in read-only checkouts.
+int finish_bench(const BenchContext& ctx, const results::BenchResult& result);
+
+using BenchFn = int (*)(BenchContext&);
+
+struct BenchInfo {
+  const char* name;
+  BenchFn fn;
+};
+
+void register_bench(const char* name, BenchFn fn);
+/// All registered benches, sorted by name (registration order depends on
+/// link order, which must not leak into run_all scheduling).
+[[nodiscard]] std::vector<BenchInfo> registered_benches();
+[[nodiscard]] const BenchInfo* find_bench(const std::string& name);
+
+/// Parses the common flags (--threads N, --profile full|quick,
+/// --results-dir PATH, --no-csv) at argv[i]. Returns the number of argv
+/// slots consumed, 0 when argv[i] is not a common flag. Throws ConfigError
+/// on a malformed value.
+int parse_common_flag(int argc, char** argv, int i, BenchContext& ctx);
+
+/// Usage text for the common flags (one indented line per flag).
+[[nodiscard]] const char* common_flags_help();
+
+/// main() body for single-bench executables: parses common flags and runs
+/// the exactly-one registered bench.
+int bench_single_main(int argc, char** argv);
+
+}  // namespace psllc::bench
+
+/// Registers `fn` under `bench_name` (also the bench_results/ directory
+/// name) at static-init time.
+#define PSLLC_REGISTER_BENCH(bench_name, fn)                   \
+  namespace {                                                  \
+  const bool psllc_bench_registered_##bench_name =             \
+      (::psllc::bench::register_bench(#bench_name, fn), true); \
+  }
+
+#endif  // PSLLC_BENCH_REGISTRY_H_

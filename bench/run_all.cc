@@ -1,0 +1,167 @@
+// run_all — batched driver for every registered bench. Runs the full
+// evaluation (Fig. 7, all Fig. 8 panels, the ablations and the analytical
+// bounds) through the src/sim batch scheduler behind one shared worker-
+// thread budget, with per-job progress and fail-fast error aggregation.
+// Artifacts land in the result store exactly as when each bench binary is
+// run individually (run_sweep output is thread-count independent).
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench/registry.h"
+#include "common/assert.h"
+#include "common/string_util.h"
+#include "sim/batch.h"
+
+namespace {
+
+using namespace psllc;  // NOLINT
+
+void print_usage() {
+  std::printf(
+      "usage: run_all [options]\n"
+      "%s"
+      "  --jobs N           benches running at once (default 1; >1 interleaves output)\n"
+      "  --only A,B,...     run only the named benches\n"
+      "  --keep-going       do not stop scheduling after the first failure\n"
+      "  --list             list registered benches and exit\n",
+      bench::common_flags_help());
+}
+
+int run(int argc, char** argv) {
+  bench::BenchContext base;
+  sim::BatchOptions batch;
+  std::vector<std::string> only;
+  bool list_only = false;
+
+  for (int i = 1; i < argc;) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    }
+    if (arg == "--jobs") {
+      PSLLC_CONFIG_CHECK(i + 1 < argc, "--jobs needs a value");
+      const auto parsed = parse_i64(argv[i + 1]);
+      PSLLC_CONFIG_CHECK(parsed.has_value() && *parsed >= 1 &&
+                             *parsed <= 256,
+                         "--jobs needs an integer in [1, 256]");
+      batch.max_concurrent_jobs = static_cast<int>(*parsed);
+      i += 2;
+      continue;
+    }
+    if (arg == "--only") {
+      PSLLC_CONFIG_CHECK(i + 1 < argc, "--only needs a value");
+      for (const std::string& name : split(argv[i + 1], ',')) {
+        if (!name.empty()) {
+          only.push_back(name);
+        }
+      }
+      i += 2;
+      continue;
+    }
+    if (arg == "--keep-going") {
+      batch.fail_fast = false;
+      ++i;
+      continue;
+    }
+    if (arg == "--list") {
+      list_only = true;
+      ++i;
+      continue;
+    }
+    const int consumed = bench::parse_common_flag(argc, argv, i, base);
+    if (consumed == 0) {
+      std::fprintf(stderr, "run_all: unknown flag '%s' (try --help)\n",
+                   arg.c_str());
+      return 2;
+    }
+    i += consumed;
+  }
+
+  std::vector<bench::BenchInfo> selected;
+  if (only.empty()) {
+    selected = bench::registered_benches();
+  } else {
+    for (const std::string& name : only) {
+      const bench::BenchInfo* info = bench::find_bench(name);
+      PSLLC_CONFIG_CHECK(info != nullptr, "unknown bench '" << name << "'");
+      // A bench repeated in --only would race two jobs onto the same
+      // result-store files; run it once.
+      bool already = false;
+      for (const bench::BenchInfo& seen : selected) {
+        already = already || std::string(seen.name) == name;
+      }
+      if (!already) {
+        selected.push_back(*info);
+      }
+    }
+  }
+  if (list_only) {
+    for (const bench::BenchInfo& info : selected) {
+      std::printf("%s\n", info.name);
+    }
+    return 0;
+  }
+
+  // The batch budget doubles as the per-sweep budget: with the default
+  // --jobs 1 every bench gets the full pool, exactly like running the
+  // binaries one after another.
+  batch.threads = base.threads;
+  batch.progress = [](const std::string& line) {
+    std::printf("%s\n", line.c_str());
+    std::fflush(stdout);
+  };
+
+  std::vector<sim::BatchJob> jobs;
+  jobs.reserve(selected.size());
+  for (const bench::BenchInfo& info : selected) {
+    sim::BatchJob job;
+    job.name = info.name;
+    job.run = [info, &base](int threads_granted) {
+      bench::BenchContext ctx = base;
+      ctx.threads = threads_granted;
+      const int rc = info.fn(ctx);
+      if (rc != 0) {
+        throw std::runtime_error("exited with code " + std::to_string(rc) +
+                                 " (claim check failed)");
+      }
+    };
+    jobs.push_back(std::move(job));
+  }
+
+  const sim::BatchReport report = sim::run_batch(std::move(jobs), batch);
+
+  std::printf("\n=== run_all summary ===\n");
+  for (const sim::JobOutcome& job : report.jobs) {
+    const char* state = job.state == sim::JobState::kOk       ? "ok"
+                        : job.state == sim::JobState::kFailed ? "FAILED"
+                                                              : "skipped";
+    std::printf("%-24s %-8s %.2fs (threads=%d)%s%s\n", job.name.c_str(),
+                state, job.seconds, job.threads,
+                job.error.empty() ? "" : "  ", job.error.c_str());
+  }
+  std::printf("%d ok, %d failed, %d skipped; results in %s\n",
+              report.count(sim::JobState::kOk),
+              report.count(sim::JobState::kFailed),
+              report.count(sim::JobState::kSkipped),
+              base.results_root.string().c_str());
+  if (!report.all_ok()) {
+    std::fprintf(stderr, "run_all: failures:\n%s",
+                 report.error_summary().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "run_all: %s\n", e.what());
+    return 2;
+  }
+}

@@ -3,9 +3,10 @@
 // two slots per period, the core under analysis is starved forever. The
 // same trace under (a) a 1S-TDM schedule or (b) the set sequencer completes
 // within its analytical bound.
-#include <cstdio>
+#include <string>
 
 #include "bench/bench_util.h"
+#include "bench/registry.h"
 #include "core/critical_instance.h"
 #include "core/wcl_analysis.h"
 
@@ -14,24 +15,38 @@ namespace {
 using namespace psllc;        // NOLINT
 using namespace psllc::core;  // NOLINT
 
+constexpr char kTitle[] =
+    "Unbounded WCL scenario (shared partition, multi-slot TDM)";
+constexpr char kReference[] = "Wu & Patel, DAC'22, Section 4.1, Figure 2";
+
 struct Variant {
   const char* name;
   llc::ContentionMode mode;
   bool one_slot;
 };
 
-int run() {
-  bench::print_header(
-      "Unbounded WCL scenario (shared partition, multi-slot TDM)",
-      "Wu & Patel, DAC'22, Section 4.1, Figure 2");
+int run(bench::BenchContext& ctx) {
+  bench::print_header(kTitle, kReference);
 
   const Variant variants[] = {
       {"NSS + {cua,ci,ci}", llc::ContentionMode::kBestEffort, false},
       {"NSS + 1S-TDM", llc::ContentionMode::kBestEffort, true},
       {"SS  + {cua,ci,ci}", llc::ContentionMode::kSetSequencer, false},
   };
-  Table table({"variant", "slots simulated", "cua completed",
-               "cua wait (cycles)", "interferer ops done"});
+  results::BenchResult res(
+      ctx.make_meta("unbounded_wcl", kTitle, kReference));
+  auto& series = res.add_series(
+      "starvation",
+      {{"variant", results::ColumnType::kText, results::ColumnKind::kExact,
+        ""},
+       {"slots_simulated", results::ColumnType::kInt,
+        results::ColumnKind::kExact, ""},
+       {"cua_completed", results::ColumnType::kText,
+        results::ColumnKind::kExact, ""},
+       {"cua_wait", results::ColumnType::kInt, results::ColumnKind::kTiming,
+        "cycles"},
+       {"interferer_ops", results::ColumnType::kInt,
+        results::ColumnKind::kTiming, ""}});
   bool starved_as_expected = false;
   bool bounded_as_expected = true;
   for (const Variant& variant : variants) {
@@ -46,12 +61,13 @@ int run() {
           completed
               ? scenario.system->tracker().service_latency(scenario.cua).max()
               : scenario.system->now();
-      table.add_row({variant.name, std::to_string(horizon),
-                     completed ? "yes" : "NO (still starving)",
-                     format_cycles(wait),
-                     std::to_string(scenario.system
-                                        ->core(scenario.interferer)
-                                        .ops_completed())});
+      series.add_row(
+          {results::Value::of_text(variant.name),
+           results::Value::of_int(horizon),
+           results::Value::of_text(completed ? "yes" : "NO (still starving)"),
+           results::Value::of_int(static_cast<std::int64_t>(wait)),
+           results::Value::of_int(static_cast<std::int64_t>(
+               scenario.system->core(scenario.interferer).ops_completed()))});
       if (!variant.one_slot &&
           variant.mode == llc::ContentionMode::kBestEffort) {
         starved_as_expected = !completed;  // at every horizon
@@ -60,18 +76,13 @@ int run() {
       }
     }
   }
-  std::printf("%s\n", table.to_text().c_str());
-  bench::save_csv(table, "unbounded_wcl");
-  std::printf(
-      "claim check: cua starves under NSS + multi-slot TDM at every "
-      "horizon: %s\n",
-      starved_as_expected ? "PASS" : "FAIL");
-  std::printf(
-      "claim check: 1S-TDM and the set sequencer both bound the wait: %s\n",
-      bounded_as_expected ? "PASS" : "FAIL");
-  return starved_as_expected && bounded_as_expected ? 0 : 1;
+  res.add_claim("cua starves under NSS + multi-slot TDM at every horizon",
+                starved_as_expected);
+  res.add_claim("1S-TDM and the set sequencer both bound the wait",
+                bounded_as_expected);
+  return bench::finish_bench(ctx, res);
 }
 
 }  // namespace
 
-int main() { return run(); }
+PSLLC_REGISTER_BENCH(unbounded_wcl, run)

@@ -1,7 +1,8 @@
 # Smoke test for the fig7_wcl bench executable, run via
 #   cmake -DFIG7_BIN=<path> -DWORK_DIR=<dir> -P fig7_smoke.cmake
 # Asserts the process exits 0, prints PASS for both programmatic claim
-# checks, and writes bench_results/fig7_wcl.csv in the working directory.
+# checks, and writes the result-store artifacts
+# bench_results/fig7_wcl/{result.json,observed_wcl.csv}.
 
 if(NOT DEFINED FIG7_BIN OR NOT DEFINED WORK_DIR)
   message(FATAL_ERROR "fig7_smoke.cmake needs -DFIG7_BIN=... and -DWORK_DIR=...")
@@ -10,8 +11,10 @@ endif()
 file(REMOVE_RECURSE "${WORK_DIR}")
 file(MAKE_DIRECTORY "${WORK_DIR}")
 
+# --results-dir is passed explicitly so an inherited PSLLC_RESULTS_DIR
+# cannot redirect the artifacts outside WORK_DIR.
 execute_process(
-  COMMAND "${FIG7_BIN}"
+  COMMAND "${FIG7_BIN}" --results-dir bench_results
   WORKING_DIRECTORY "${WORK_DIR}"
   OUTPUT_VARIABLE out
   ERROR_VARIABLE err
@@ -31,14 +34,17 @@ foreach(claim
   endif()
 endforeach()
 
-if(NOT EXISTS "${WORK_DIR}/bench_results/fig7_wcl.csv")
-  message(FATAL_ERROR "fig7_wcl did not write bench_results/fig7_wcl.csv")
-endif()
+foreach(artifact fig7_wcl/result.json fig7_wcl/observed_wcl.csv
+        fig7_wcl/analytical_wcl.csv)
+  if(NOT EXISTS "${WORK_DIR}/bench_results/${artifact}")
+    message(FATAL_ERROR "fig7_wcl did not write bench_results/${artifact}")
+  endif()
+endforeach()
 
-file(READ "${WORK_DIR}/bench_results/fig7_wcl.csv" csv)
+file(READ "${WORK_DIR}/bench_results/fig7_wcl/observed_wcl.csv" csv)
 string(LENGTH "${csv}" csv_len)
 if(csv_len EQUAL 0)
-  message(FATAL_ERROR "bench_results/fig7_wcl.csv is empty")
+  message(FATAL_ERROR "bench_results/fig7_wcl/observed_wcl.csv is empty")
 endif()
 
-message(STATUS "fig7_wcl smoke: both claim checks PASS, CSV written (${csv_len} bytes)")
+message(STATUS "fig7_wcl smoke: both claim checks PASS, result store written (${csv_len} bytes of CSV)")

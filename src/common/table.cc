@@ -1,9 +1,7 @@
 #include "common/table.h"
 
-#include <fstream>
 #include <iomanip>
 #include <sstream>
-#include <stdexcept>
 #include <utility>
 
 #include "common/assert.h"
@@ -95,17 +93,6 @@ std::string Table::to_csv() const {
     emit(row);
   }
   return oss.str();
-}
-
-void Table::write_csv(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) {
-    throw std::runtime_error("cannot open " + path + " for writing");
-  }
-  out << to_csv();
-  if (!out) {
-    throw std::runtime_error("error writing " + path);
-  }
 }
 
 std::string format_double(double v, int digits) {

@@ -33,9 +33,6 @@ class Table {
   /// RFC-4180-ish CSV (cells containing comma/quote/newline are quoted).
   [[nodiscard]] std::string to_csv() const;
 
-  /// Writes CSV to `path`; throws std::runtime_error on I/O failure.
-  void write_csv(const std::string& path) const;
-
  private:
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;

@@ -1,0 +1,62 @@
+// Comparison of two result-store directories (golden baseline vs a fresh
+// run), the engine behind tools/results_diff. Exact columns and claim
+// checks must match bit-for-bit; timing columns are compared with a
+// relative tolerance. Any finding of severity kRegression makes the diff
+// fail (results_diff exits nonzero).
+#ifndef PSLLC_RESULTS_DIFF_H_
+#define PSLLC_RESULTS_DIFF_H_
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "results/result_store.h"
+
+namespace psllc::results {
+
+struct DiffOptions {
+  /// Relative tolerance for kTiming columns:
+  /// |candidate - golden| <= rel_tol * max(|golden|, 1).
+  double rel_tol = 0.02;
+  /// Benches present in the candidate but not the golden are reported as
+  /// kInfo (a new bench is not a regression) unless this is set.
+  bool fail_on_extra_bench = false;
+};
+
+struct DiffFinding {
+  enum class Severity { kInfo, kRegression };
+  Severity severity = Severity::kRegression;
+  std::string bench;
+  std::string series;   ///< empty for bench-level findings
+  std::string column;   ///< empty unless cell-level
+  int row = -1;         ///< -1 unless cell-level
+  std::string message;  ///< human-readable, includes both values
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct DiffReport {
+  std::vector<DiffFinding> findings;
+  int benches_compared = 0;
+
+  [[nodiscard]] bool ok() const;
+  [[nodiscard]] int num_regressions() const;
+  /// One line per finding plus a summary line.
+  [[nodiscard]] std::string to_text() const;
+};
+
+/// Compares two loaded bench results (golden vs candidate).
+[[nodiscard]] std::vector<DiffFinding> diff_bench_results(
+    const BenchResult& golden, const BenchResult& candidate,
+    const DiffOptions& options);
+
+/// Compares every `<bench>/result.json` under `golden_root` against
+/// `candidate_root`. Unreadable/missing candidate results are regressions;
+/// throws std::runtime_error only if `golden_root` itself is unusable.
+[[nodiscard]] DiffReport diff_directories(
+    const std::filesystem::path& golden_root,
+    const std::filesystem::path& candidate_root, const DiffOptions& options);
+
+}  // namespace psllc::results
+
+#endif  // PSLLC_RESULTS_DIFF_H_

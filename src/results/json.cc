@@ -1,0 +1,575 @@
+#include "results/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace psllc::results {
+
+Json Json::make_bool(bool v) {
+  Json j;
+  j.type_ = Type::kBool;
+  j.bool_ = v;
+  return j;
+}
+
+Json Json::make_int(std::int64_t v) {
+  Json j;
+  j.type_ = Type::kInt;
+  j.int_ = v;
+  return j;
+}
+
+Json Json::make_real(double v) {
+  Json j;
+  j.type_ = Type::kReal;
+  j.real_ = v;
+  return j;
+}
+
+Json Json::make_string(std::string v) {
+  Json j;
+  j.type_ = Type::kString;
+  j.string_ = std::move(v);
+  return j;
+}
+
+Json Json::make_array() {
+  Json j;
+  j.type_ = Type::kArray;
+  return j;
+}
+
+Json Json::make_object() {
+  Json j;
+  j.type_ = Type::kObject;
+  return j;
+}
+
+namespace {
+
+const char* type_name(Json::Type type) {
+  switch (type) {
+    case Json::Type::kNull:
+      return "null";
+    case Json::Type::kBool:
+      return "bool";
+    case Json::Type::kInt:
+      return "int";
+    case Json::Type::kReal:
+      return "real";
+    case Json::Type::kString:
+      return "string";
+    case Json::Type::kArray:
+      return "array";
+    case Json::Type::kObject:
+      return "object";
+  }
+  return "?";
+}
+
+[[noreturn]] void type_error(const char* wanted, Json::Type got) {
+  throw JsonParseError(std::string("JSON value is ") + type_name(got) +
+                       ", expected " + wanted);
+}
+
+}  // namespace
+
+bool Json::as_bool() const {
+  if (type_ != Type::kBool) {
+    type_error("bool", type_);
+  }
+  return bool_;
+}
+
+std::int64_t Json::as_int() const {
+  if (type_ != Type::kInt) {
+    type_error("int", type_);
+  }
+  return int_;
+}
+
+double Json::as_real() const {
+  if (type_ == Type::kInt) {
+    return static_cast<double>(int_);
+  }
+  if (type_ != Type::kReal) {
+    type_error("real", type_);
+  }
+  return real_;
+}
+
+const std::string& Json::as_string() const {
+  if (type_ != Type::kString) {
+    type_error("string", type_);
+  }
+  return string_;
+}
+
+const std::vector<Json>& Json::as_array() const {
+  if (type_ != Type::kArray) {
+    type_error("array", type_);
+  }
+  return array_;
+}
+
+std::vector<Json>& Json::as_array() {
+  if (type_ != Type::kArray) {
+    type_error("array", type_);
+  }
+  return array_;
+}
+
+const Json& Json::at(const std::string& key) const {
+  const Json* found = find(key);
+  if (found == nullptr) {
+    throw JsonParseError("missing JSON object key '" + key + "'");
+  }
+  return *found;
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (type_ != Type::kObject) {
+    type_error("object", type_);
+  }
+  for (const auto& [k, v] : object_) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+void Json::set(const std::string& key, Json value) {
+  if (type_ != Type::kObject) {
+    type_error("object", type_);
+  }
+  for (auto& [k, v] : object_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  object_.emplace_back(key, std::move(value));
+}
+
+const std::vector<std::pair<std::string, Json>>& Json::members() const {
+  if (type_ != Type::kObject) {
+    type_error("object", type_);
+  }
+  return object_;
+}
+
+void Json::push_back(Json value) {
+  if (type_ != Type::kArray) {
+    type_error("array", type_);
+  }
+  array_.push_back(std::move(value));
+}
+
+std::string format_real_shortest(double v) {
+  if (std::isnan(v)) {
+    return "nan";
+  }
+  if (std::isinf(v)) {
+    return v > 0 ? "inf" : "-inf";
+  }
+  char buffer[64];
+  const auto [end, ec] =
+      std::to_chars(buffer, buffer + sizeof(buffer), v);
+  if (ec != std::errc{}) {
+    std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+    return buffer;
+  }
+  return std::string(buffer, end);
+}
+
+namespace {
+
+void dump_string(const std::string& s, std::string& out) {
+  out += '"';
+  for (const char raw : s) {
+    const auto ch = static_cast<unsigned char>(raw);
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (ch < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += raw;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  const std::string inner_pad(static_cast<std::size_t>(indent + 1) * 2, ' ');
+  switch (type_) {
+    case Type::kNull:
+      out += "null";
+      return;
+    case Type::kBool:
+      out += bool_ ? "true" : "false";
+      return;
+    case Type::kInt:
+      out += std::to_string(int_);
+      return;
+    case Type::kReal: {
+      // JSON has no inf/nan literals; store as null like most emitters.
+      if (std::isnan(real_) || std::isinf(real_)) {
+        out += "null";
+        return;
+      }
+      const std::string repr = format_real_shortest(real_);
+      out += repr;
+      // Keep the real/int distinction visible in the serialized form.
+      if (repr.find_first_of(".eE") == std::string::npos) {
+        out += ".0";
+      }
+      return;
+    }
+    case Type::kString:
+      dump_string(string_, out);
+      return;
+    case Type::kArray: {
+      if (array_.empty()) {
+        out += "[]";
+        return;
+      }
+      // Arrays of scalars stay on one line; nested containers get one
+      // element per line so series rows read naturally.
+      bool scalar_only = true;
+      for (const Json& v : array_) {
+        scalar_only = scalar_only && v.type_ != Type::kArray &&
+                      v.type_ != Type::kObject;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (scalar_only) {
+          if (i > 0) {
+            out += ", ";
+          }
+        } else {
+          out += i > 0 ? ",\n" : "\n";
+          out += inner_pad;
+        }
+        array_[i].dump_to(out, indent + 1);
+      }
+      if (!scalar_only) {
+        out += '\n';
+        out += pad;
+      }
+      out += ']';
+      return;
+    }
+    case Type::kObject: {
+      if (object_.empty()) {
+        out += "{}";
+        return;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        out += i > 0 ? ",\n" : "\n";
+        out += inner_pad;
+        dump_string(object_[i].first, out);
+        out += ": ";
+        object_[i].second.dump_to(out, indent + 1);
+      }
+      out += '\n';
+      out += pad;
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_to(out, 0);
+  out += '\n';
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Json parse_document() {
+    Json value = parse_value();
+    skip_whitespace();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+
+  [[noreturn]] void fail(const std::string& message) const {
+    std::ostringstream oss;
+    oss << message << " at offset " << pos_;
+    throw JsonParseError(oss.str());
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+    }
+    return text_[pos_];
+  }
+
+  void expect(char ch) {
+    if (peek() != ch) {
+      fail(std::string("expected '") + ch + "', got '" + peek() + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(const char* literal) {
+    const std::size_t len = std::char_traits<char>::length(literal);
+    if (text_.compare(pos_, len, literal) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  Json parse_value() {
+    skip_whitespace();
+    const char ch = peek();
+    switch (ch) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return Json::make_string(parse_string());
+      case 't':
+        if (consume_literal("true")) {
+          return Json::make_bool(true);
+        }
+        fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) {
+          return Json::make_bool(false);
+        }
+        fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) {
+          return Json::make_null();
+        }
+        fail("invalid literal");
+      default:
+        return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json object = Json::make_object();
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return object;
+    }
+    while (true) {
+      skip_whitespace();
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      object.set(key, parse_value());
+      skip_whitespace();
+      const char next = peek();
+      if (next == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return object;
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json array = Json::make_array();
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return array;
+    }
+    while (true) {
+      array.push_back(parse_value());
+      skip_whitespace();
+      const char next = peek();
+      if (next == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return array;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) {
+        fail("unterminated string");
+      }
+      const char ch = text_[pos_++];
+      if (ch == '"') {
+        return out;
+      }
+      if (ch != '\\') {
+        out += ch;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        fail("unterminated escape");
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            fail("truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char hex = text_[pos_++];
+            code <<= 4;
+            if (hex >= '0' && hex <= '9') {
+              code |= static_cast<unsigned>(hex - '0');
+            } else if (hex >= 'a' && hex <= 'f') {
+              code |= static_cast<unsigned>(hex - 'a' + 10);
+            } else if (hex >= 'A' && hex <= 'F') {
+              code |= static_cast<unsigned>(hex - 'A' + 10);
+            } else {
+              fail("invalid \\u escape digit");
+            }
+          }
+          // BMP-only decoding (the writer never emits surrogate pairs).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail("invalid escape character");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') {
+      ++pos_;
+    }
+    bool is_real = false;
+    while (pos_ < text_.size()) {
+      const char ch = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(ch)) != 0) {
+        ++pos_;
+      } else if (ch == '.' || ch == 'e' || ch == 'E' || ch == '+' ||
+                 ch == '-') {
+        is_real = is_real || ch == '.' || ch == 'e' || ch == 'E';
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start || (text_[start] == '-' && pos_ == start + 1)) {
+      fail("invalid number");
+    }
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
+    if (!is_real) {
+      std::int64_t value = 0;
+      const auto [ptr, ec] = std::from_chars(first, last, value);
+      if (ec == std::errc{} && ptr == last) {
+        return Json::make_int(value);
+      }
+      // Out-of-range integer: fall through to double.
+    }
+    double value = 0;
+    const auto [ptr, ec] = std::from_chars(first, last, value);
+    if (ec != std::errc{} || ptr != last) {
+      fail("invalid number");
+    }
+    return Json::make_real(value);
+  }
+};
+
+}  // namespace
+
+Json Json::parse(const std::string& text) {
+  Parser parser(text);
+  return parser.parse_document();
+}
+
+}  // namespace psllc::results

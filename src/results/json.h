@@ -1,0 +1,87 @@
+// Minimal JSON reader/writer for the result store. Self-contained (the
+// toolchain image has no JSON library) and deliberately small: objects,
+// arrays, strings, 64-bit integers, doubles, booleans, null. Numbers keep
+// the int/real distinction so schema'd integer columns round-trip exactly.
+#ifndef PSLLC_RESULTS_JSON_H_
+#define PSLLC_RESULTS_JSON_H_
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace psllc::results {
+
+/// Thrown by Json::parse on malformed input (includes offset context).
+class JsonParseError : public std::runtime_error {
+ public:
+  explicit JsonParseError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// A parsed JSON document node. Object member order is preserved so a
+/// write/parse/write round trip is byte-stable.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kInt, kReal, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  static Json make_null() { return Json(); }
+  static Json make_bool(bool v);
+  static Json make_int(std::int64_t v);
+  static Json make_real(double v);
+  static Json make_string(std::string v);
+  static Json make_array();
+  static Json make_object();
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_number() const {
+    return type_ == Type::kInt || type_ == Type::kReal;
+  }
+
+  /// Typed accessors; throw JsonParseError on type mismatch so schema
+  /// violations surface as parse errors with context.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] double as_real() const;  ///< accepts kInt too
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<Json>& as_array() const;
+  [[nodiscard]] std::vector<Json>& as_array();
+
+  /// Object access. `at` throws JsonParseError when the key is missing;
+  /// `find` returns nullptr instead.
+  [[nodiscard]] const Json& at(const std::string& key) const;
+  [[nodiscard]] const Json* find(const std::string& key) const;
+  void set(const std::string& key, Json value);
+  [[nodiscard]] const std::vector<std::pair<std::string, Json>>& members()
+      const;
+
+  void push_back(Json value);
+
+  /// Serializes with 2-space indentation and '\n' line ends.
+  [[nodiscard]] std::string dump() const;
+
+  /// Parses a complete document; trailing non-whitespace is an error.
+  [[nodiscard]] static Json parse(const std::string& text);
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double real_ = 0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+
+  void dump_to(std::string& out, int indent) const;
+};
+
+/// Shortest-round-trip formatting for doubles (std::to_chars), used for both
+/// JSON and CSV so the two artifacts always agree.
+[[nodiscard]] std::string format_real_shortest(double v);
+
+}  // namespace psllc::results
+
+#endif  // PSLLC_RESULTS_JSON_H_

@@ -1,0 +1,177 @@
+#include "sim/batch.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "common/assert.h"
+
+namespace psllc::sim {
+
+bool BatchReport::all_ok() const {
+  return count(JobState::kOk) == static_cast<int>(jobs.size());
+}
+
+int BatchReport::count(JobState state) const {
+  int n = 0;
+  for (const JobOutcome& job : jobs) {
+    n += job.state == state ? 1 : 0;
+  }
+  return n;
+}
+
+std::string BatchReport::error_summary() const {
+  std::ostringstream oss;
+  for (const JobOutcome& job : jobs) {
+    if (job.state == JobState::kFailed) {
+      oss << job.name << ": " << job.error << '\n';
+    }
+  }
+  return oss.str();
+}
+
+namespace {
+
+std::string format_seconds(double seconds) {
+  std::ostringstream oss;
+  oss.setf(std::ios::fixed);
+  oss.precision(2);
+  oss << seconds << 's';
+  return oss.str();
+}
+
+}  // namespace
+
+BatchReport run_batch(std::vector<BatchJob> jobs,
+                      const BatchOptions& options) {
+  PSLLC_CONFIG_CHECK(options.threads >= 0,
+                     "batch threads must be >= 0, got " << options.threads);
+  PSLLC_CONFIG_CHECK(options.max_concurrent_jobs >= 1,
+                     "batch needs max_concurrent_jobs >= 1, got "
+                         << options.max_concurrent_jobs);
+  for (const BatchJob& job : jobs) {
+    PSLLC_CONFIG_CHECK(!job.name.empty(), "every batch job needs a name");
+    PSLLC_CONFIG_CHECK(static_cast<bool>(job.run),
+                       "batch job '" << job.name << "' has no work");
+    PSLLC_CONFIG_CHECK(job.threads_wanted >= 0,
+                       "batch job '" << job.name
+                                     << "': threads_wanted must be >= 0");
+  }
+
+  const int total_budget =
+      options.threads > 0
+          ? options.threads
+          : std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+
+  BatchReport report;
+  report.jobs.resize(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    report.jobs[i].name = jobs[i].name;
+  }
+
+  std::mutex mutex;
+  std::condition_variable slots_freed;
+  int available_threads = total_budget;
+  int running_jobs = 0;
+  int finished_jobs = 0;
+  bool any_failed = false;
+  const int total = static_cast<int>(jobs.size());
+
+  // Emitted under `mutex` so lines never interleave.
+  const auto progress = [&](const std::string& line) {
+    if (options.progress) {
+      options.progress(line);
+    }
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(jobs.size());
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    int granted = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      slots_freed.wait(lock, [&] {
+        return (running_jobs < options.max_concurrent_jobs &&
+                available_threads >= 1) ||
+               (options.fail_fast && any_failed);
+      });
+      if (options.fail_fast && any_failed) {
+        report.jobs[i].state = JobState::kSkipped;
+        progress("[batch] skip " + jobs[i].name +
+                 " (earlier job failed)");
+        continue;
+      }
+      if (jobs[i].threads_wanted > 0) {
+        granted = std::min(jobs[i].threads_wanted, available_threads);
+      } else {
+        // Fair share for take-everything jobs: leave budget for the other
+        // concurrency slots while more jobs are queued, so --jobs N > 1
+        // actually overlaps. With one slot (the default) this is the whole
+        // remaining budget.
+        const int slots_open = options.max_concurrent_jobs - running_jobs;
+        const int queued = static_cast<int>(jobs.size() - i);
+        granted =
+            available_threads / std::max(1, std::min(slots_open, queued));
+      }
+      granted = std::max(granted, 1);
+      available_threads -= granted;
+      ++running_jobs;
+      report.jobs[i].threads = granted;
+      std::ostringstream line;
+      line << "[batch] run  " << jobs[i].name << " (threads=" << granted
+           << ", " << finished_jobs << "/" << total << " done)";
+      progress(line.str());
+    }
+    workers.emplace_back([&, i, granted] {
+      const auto start = std::chrono::steady_clock::now();
+      JobState state = JobState::kOk;
+      std::string error;
+      try {
+        jobs[i].run(granted);
+      } catch (const std::exception& e) {
+        state = JobState::kFailed;
+        error = e.what();
+      } catch (...) {
+        state = JobState::kFailed;
+        error = "unknown exception";
+      }
+      const double seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      {
+        const std::lock_guard<std::mutex> lock(mutex);
+        report.jobs[i].state = state;
+        report.jobs[i].error = error;
+        report.jobs[i].seconds = seconds;
+        available_threads += granted;
+        --running_jobs;
+        ++finished_jobs;
+        any_failed = any_failed || state == JobState::kFailed;
+        std::ostringstream line;
+        if (state == JobState::kOk) {
+          line << "[batch] done " << jobs[i].name << " in "
+               << format_seconds(seconds) << " (" << finished_jobs << "/"
+               << total << " done)";
+        } else {
+          line << "[batch] FAIL " << jobs[i].name << " after "
+               << format_seconds(seconds) << ": " << error;
+        }
+        progress(line.str());
+      }
+      slots_freed.notify_all();
+    });
+  }
+
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  return report;
+}
+
+}  // namespace psllc::sim

@@ -175,6 +175,83 @@ Table exec_time_table(const SweepResult& result) {
   return table;
 }
 
+namespace {
+
+/// Columns of a grid series: exact range_bytes plus one timing column per
+/// configuration.
+std::vector<results::Column> grid_columns(const SweepResult& result) {
+  std::vector<results::Column> columns;
+  columns.push_back({"range_bytes", results::ColumnType::kInt,
+                     results::ColumnKind::kExact, "bytes"});
+  for (const SweepConfig& config : result.configs) {
+    columns.push_back({config.notation, results::ColumnType::kInt,
+                       results::ColumnKind::kTiming, "cycles"});
+  }
+  return columns;
+}
+
+results::Series grid_series(const SweepResult& result, std::string name,
+                            Cycle RunMetrics::* metric) {
+  results::Series series(std::move(name), grid_columns(result));
+  for (int r = 0; r < static_cast<int>(result.ranges.size()); ++r) {
+    std::vector<results::Value> row;
+    row.push_back(results::Value::of_int(
+        result.ranges[static_cast<std::size_t>(r)]));
+    for (int c = 0; c < static_cast<int>(result.configs.size()); ++c) {
+      const RunMetrics& m = result.cell(r, c).metrics;
+      row.push_back(results::Value::of_cycles(m.*metric, m.completed));
+    }
+    series.add_row(std::move(row));
+  }
+  return series;
+}
+
+}  // namespace
+
+results::Series observed_wcl_series(const SweepResult& result) {
+  return grid_series(result, "observed_wcl", &RunMetrics::observed_wcl);
+}
+
+results::Series exec_time_series(const SweepResult& result) {
+  return grid_series(result, "exec_time", &RunMetrics::makespan);
+}
+
+results::Series analytical_wcl_series(const SweepResult& result) {
+  results::Series series(
+      "analytical_wcl",
+      {{"config", results::ColumnType::kText, results::ColumnKind::kExact,
+        ""},
+       {"wcl_bound", results::ColumnType::kInt, results::ColumnKind::kExact,
+        "cycles"}});
+  for (int c = 0; c < static_cast<int>(result.configs.size()); ++c) {
+    series.add_row({results::Value::of_text(
+                        result.configs[static_cast<std::size_t>(c)].notation),
+                    results::Value::of_int(
+                        result.cell(0, c).metrics.analytical_wcl)});
+  }
+  return series;
+}
+
+results::Series speedup_series(
+    const SweepResult& result,
+    const std::vector<std::pair<std::string, std::string>>& pairs) {
+  results::Series series(
+      "speedup",
+      {{"config", results::ColumnType::kText, results::ColumnKind::kExact,
+        ""},
+       {"baseline", results::ColumnType::kText, results::ColumnKind::kExact,
+        ""},
+       {"mean_speedup", results::ColumnType::kReal,
+        results::ColumnKind::kTiming, "ratio"}});
+  for (const auto& [numerator, denominator] : pairs) {
+    series.add_row({results::Value::of_text(numerator),
+                    results::Value::of_text(denominator),
+                    results::Value::of_real(
+                        mean_speedup(result, numerator, denominator))});
+  }
+  return series;
+}
+
 double mean_speedup(const SweepResult& result, const std::string& numerator,
                     const std::string& denominator) {
   int num_index = -1;

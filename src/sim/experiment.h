@@ -6,9 +6,11 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/table.h"
+#include "results/result_store.h"
 #include "sim/runner.h"
 #include "sim/workload.h"
 
@@ -70,6 +72,19 @@ struct SweepResult {
 [[nodiscard]] double mean_speedup(const SweepResult& result,
                                   const std::string& numerator,
                                   const std::string& denominator);
+
+/// Result-store renderings of a sweep grid. Observed WCL and makespan are
+/// timing-derived columns (diffed with tolerance, DNF -> null); the
+/// analytical bounds are exact columns that must never drift.
+[[nodiscard]] results::Series observed_wcl_series(const SweepResult& result);
+[[nodiscard]] results::Series exec_time_series(const SweepResult& result);
+[[nodiscard]] results::Series analytical_wcl_series(const SweepResult& result);
+
+/// One row of mean speedups per (numerator, baseline) pair, as the paper's
+/// "SS achieves an average speedup of X x" quotes.
+[[nodiscard]] results::Series speedup_series(
+    const SweepResult& result,
+    const std::vector<std::pair<std::string, std::string>>& pairs);
 
 }  // namespace psllc::sim
 

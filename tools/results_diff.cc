@@ -1,0 +1,104 @@
+// results_diff — compares two result-store directories and exits nonzero
+// on regression. Exact columns (analytical WCL bounds, configuration
+// labels) and claim checks must match bit-for-bit; timing-derived columns
+// (observed latencies, makespans, speedups) are compared with a relative
+// tolerance. This is the tool CI runs against the committed golden
+// baseline under bench/golden.
+//
+//   results_diff <golden_root> <candidate_root> [--rel-tol R]
+//                [--fail-on-extra]
+//
+// Exit codes: 0 = no regression, 1 = regression(s) found, 2 = usage or
+// I/O error.
+#include <charconv>
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "results/diff.h"
+
+namespace {
+
+void print_usage() {
+  std::printf(
+      "usage: results_diff <golden_root> <candidate_root> [options]\n"
+      "  --rel-tol R       relative tolerance for timing columns "
+      "(default 0.02)\n"
+      "  --fail-on-extra   treat benches only present in the candidate as "
+      "regressions\n");
+}
+
+int run(int argc, char** argv) {
+  std::string golden;
+  std::string candidate;
+  psllc::results::DiffOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    }
+    if (arg == "--rel-tol") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "results_diff: --rel-tol needs a value\n");
+        return 2;
+      }
+      const std::string value = argv[++i];
+      double parsed = 0;
+      const auto [ptr, ec] = std::from_chars(
+          value.data(), value.data() + value.size(), parsed);
+      if (ec != std::errc{} || ptr != value.data() + value.size() ||
+          parsed < 0) {
+        std::fprintf(stderr, "results_diff: bad --rel-tol '%s'\n",
+                     value.c_str());
+        return 2;
+      }
+      options.rel_tol = parsed;
+      continue;
+    }
+    if (arg == "--fail-on-extra") {
+      options.fail_on_extra_bench = true;
+      continue;
+    }
+    if (!arg.empty() && arg.front() == '-') {
+      std::fprintf(stderr, "results_diff: unknown flag '%s' (try --help)\n",
+                   arg.c_str());
+      return 2;
+    }
+    if (golden.empty()) {
+      golden = arg;
+    } else if (candidate.empty()) {
+      candidate = arg;
+    } else {
+      std::fprintf(stderr, "results_diff: too many positional arguments\n");
+      return 2;
+    }
+  }
+  if (golden.empty() || candidate.empty()) {
+    print_usage();
+    return 2;
+  }
+
+  const psllc::results::DiffReport report =
+      psllc::results::diff_directories(golden, candidate, options);
+  std::printf("%s", report.to_text().c_str());
+  if (!report.ok()) {
+    std::fprintf(stderr,
+                 "results_diff: %d regression(s) against %s\n",
+                 report.num_regressions(), golden.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "results_diff: %s\n", e.what());
+    return 2;
+  }
+}
