@@ -10,9 +10,9 @@ namespace psllc::core {
 System::System(const SystemConfig& config, llc::PartitionMap partitions)
     : config_(config),
       schedule_(config_.make_schedule()),
-      dram_(config_.dram),
+      memory_(config_.dram.make_backend()),
       llc_(config_.llc, std::move(partitions), config_.mode,
-           config_.num_cores, dram_),
+           config_.num_cores, *memory_),
       tracker_(config_.num_cores, config_.keep_request_records) {
   config_.validate();
   llc_.partitions().validate_covers_cores(config_.num_cores);

@@ -23,7 +23,7 @@
 #include "core/system_config.h"
 #include "core/trace_core.h"
 #include "llc/llc.h"
-#include "mem/dram.h"
+#include "mem/memory_backend.h"
 
 namespace psllc::core {
 
@@ -90,7 +90,9 @@ class System {
   [[nodiscard]] const RequestTracker& tracker() const { return tracker_; }
   [[nodiscard]] const bus::TdmSchedule& schedule() const { return schedule_; }
   [[nodiscard]] const SystemConfig& config() const { return config_; }
-  [[nodiscard]] const mem::Dram& dram() const { return dram_; }
+  /// The memory backend behind the LLC (selected by config().dram.backend;
+  /// owned by this System — see mem/memory_backend.h for the WCL contract).
+  [[nodiscard]] const mem::MemoryBackend& memory() const { return *memory_; }
 
   /// Registers a per-slot observer (called after the slot's bus action).
   void add_slot_observer(std::function<void(const SlotEvent&)> observer);
@@ -109,7 +111,7 @@ class System {
 
   SystemConfig config_;
   bus::TdmSchedule schedule_;
-  mem::Dram dram_;
+  std::unique_ptr<mem::MemoryBackend> memory_;
   llc::PartitionedLlc llc_;
   RequestTracker tracker_;
   std::vector<std::unique_ptr<TraceCore>> cores_;

@@ -5,6 +5,7 @@
 #include "common/assert.h"
 #include "common/rng.h"
 #include "common/string_util.h"
+#include "core/wcl_analysis.h"
 
 namespace psllc::core {
 
@@ -33,12 +34,15 @@ void SystemConfig::validate() const {
       dram.line_bytes == llc.geometry.line_bytes,
       "DRAM and LLC line sizes differ");
   // System model (paper Section 3): the LLC responds within the requester's
-  // slot, so a miss fill (lookup + DRAM fetch) must fit in one slot.
+  // slot, so a miss fill (lookup + memory fetch) must fit in one slot. The
+  // memory term is supplied by the selected backend — a backend with a
+  // larger worst case (e.g. the open-page bank/row model) needs a wider
+  // slot than the fixed-latency model.
   PSLLC_CONFIG_CHECK(
-      slot_width >= llc.lookup_latency + dram.worst_case_latency(),
-      "slot width " << slot_width
-                    << " cannot absorb an LLC fill (lookup "
-                    << llc.lookup_latency << " + DRAM "
+      slot_width >= required_slot_width(*this),
+      "slot width " << slot_width << " cannot absorb an LLC fill (lookup "
+                    << llc.lookup_latency << " + "
+                    << mem::to_string(dram.backend) << " backend worst case "
                     << dram.worst_case_latency() << ")");
   (void)make_schedule();  // throws if the explicit schedule is inconsistent
 }

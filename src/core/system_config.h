@@ -52,7 +52,9 @@ struct SystemConfig {
 
   /// Throws ConfigError on inconsistency. Notably enforces the system-model
   /// requirement that an LLC fill completes within one slot:
-  /// slot_width >= llc.lookup_latency + dram.worst_case_latency().
+  /// slot_width >= llc.lookup_latency + dram.worst_case_latency(), where
+  /// the memory term is supplied by the memory backend `dram.backend`
+  /// selects (see mem/memory_backend.h).
   void validate() const;
 };
 

@@ -127,4 +127,12 @@ Cycle analytical_wcl_cycles(const ExperimentSetup& setup, CoreId cua) {
              : wcl_1s_tdm_cycles(scenario);
 }
 
+Cycle required_slot_width(const SystemConfig& config) {
+  return config.llc.lookup_latency + config.dram.worst_case_latency();
+}
+
+Cycle slot_slack(const SystemConfig& config) {
+  return config.slot_width - required_slot_width(config);
+}
+
 }  // namespace psllc::core

@@ -102,6 +102,20 @@ enum class Boundedness : std::uint8_t { kBounded, kUnbounded };
 [[nodiscard]] Cycle analytical_wcl_cycles(const ExperimentSetup& setup,
                                           CoreId cua);
 
+/// The system-model term every slot-count bound above multiplies out: all
+/// WCL theorems assume an LLC fill (lookup + memory fetch) completes inside
+/// the requester's slot, so the minimum admissible slot width is
+///   llc.lookup_latency + backend.worst_case_latency()
+/// with the memory term supplied by the backend `config.dram` selects.
+/// SystemConfig::validate rejects any slot_width below this; the
+/// ablation_dram_backend bench reports it per backend.
+[[nodiscard]] Cycle required_slot_width(const SystemConfig& config);
+
+/// Slack the configured slot leaves above the backend-supplied fill term
+/// (slot_width - required_slot_width; negative would be rejected by
+/// validate).
+[[nodiscard]] Cycle slot_slack(const SystemConfig& config);
+
 }  // namespace psllc::core
 
 #endif  // PSLLC_CORE_WCL_ANALYSIS_H_

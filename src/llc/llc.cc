@@ -15,11 +15,11 @@ void LlcConfig::validate() const {
 
 PartitionedLlc::PartitionedLlc(const LlcConfig& config,
                                PartitionMap partitions, ContentionMode mode,
-                               int num_cores, mem::Dram& dram)
+                               int num_cores, mem::MemoryBackend& memory)
     : config_(config),
       partitions_(std::move(partitions)),
       mode_(mode),
-      dram_(&dram),
+      memory_(&memory),
       sequencer_(num_cores, num_cores),
       pending_(static_cast<std::size_t>(num_cores)) {
   config_.validate();
@@ -198,8 +198,9 @@ RequestOutcome PartitionedLlc::handle_request(CoreId core, LineAddr line,
       set.insert(line, way, mem::LineState::kClean);
       directory_.add_sharer(line, core);
       // Fetch from the backing store; latency is absorbed by the slot
-      // (validated by the system configuration).
-      (void)dram_->read(line);
+      // (validated by the system configuration against the backend's
+      // worst_case_latency()).
+      (void)memory_->read(line, now);
       // Steal accounting: did we allocate past an older waiter?
       for (const auto& other : pending_) {
         if (other && other->partition == pid && other->physical_set == pset &&
@@ -255,7 +256,7 @@ RequestOutcome PartitionedLlc::handle_request(CoreId core, LineAddr line,
       // No private copies: the entry is reusable within this slot; dirty
       // data drains to DRAM off the critical path.
       if (set.way(victim).dirty()) {
-        (void)dram_->write(victim_line);
+        (void)memory_->write(victim_line, now);
       }
       set.invalidate(victim);
       ++stats_.immediate_frees;
@@ -295,10 +296,10 @@ void PartitionedLlc::complete_pending(CoreId core, SetKey key) {
 WritebackOutcome PartitionedLlc::handle_writeback(CoreId core, LineAddr line,
                                                   bool carries_dirty_data,
                                                   bool frees_entry,
-                                                  Cycle /*now*/) {
+                                                  Cycle now) {
   if (frees_entry) {
     ++stats_.freeing_writebacks;
-    return apply_back_inval_ack(core, line, carries_dirty_data);
+    return apply_back_inval_ack(core, line, carries_dirty_data, now);
   }
   ++stats_.voluntary_writebacks;
   const int pid = partition_of_checked(core);
@@ -323,7 +324,8 @@ WritebackOutcome PartitionedLlc::handle_writeback(CoreId core, LineAddr line,
 
 WritebackOutcome PartitionedLlc::apply_back_inval_ack(CoreId core,
                                                       LineAddr line,
-                                                      bool dirty_data) {
+                                                      bool dirty_data,
+                                                      Cycle now) {
   const int pid = partition_of_checked(core);
   const PartitionSpec& spec = partitions_.spec(pid);
   const int pset = spec.map_set(line);
@@ -351,7 +353,7 @@ WritebackOutcome PartitionedLlc::apply_back_inval_ack(CoreId core,
   PSLLC_ASSERT(directory_.sharer_count(line) == 0,
                "directory still has sharers after the last ack");
   if (set.way(way).dirty()) {
-    (void)dram_->write(line);
+    (void)memory_->write(line, now);
   }
   set.invalidate(way);
   state = EntryState{};
@@ -367,8 +369,8 @@ void PartitionedLlc::notify_silent_eviction(CoreId core, LineAddr line) {
 
 WritebackOutcome PartitionedLlc::ack_back_invalidation_silent(CoreId core,
                                                               LineAddr line,
-                                                              Cycle /*now*/) {
-  return apply_back_inval_ack(core, line, /*dirty_data=*/false);
+                                                              Cycle now) {
+  return apply_back_inval_ack(core, line, /*dirty_data=*/false, now);
 }
 
 void PartitionedLlc::drop_pending_request(CoreId core) {

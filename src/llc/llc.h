@@ -34,7 +34,7 @@
 #include "llc/partition.h"
 #include "llc/set_sequencer.h"
 #include "mem/cache_set.h"
-#include "mem/dram.h"
+#include "mem/memory_backend.h"
 
 namespace psllc::llc {
 
@@ -91,10 +91,11 @@ struct WritebackOutcome {
 
 class PartitionedLlc {
  public:
-  /// `dram` must outlive the LLC. `num_cores` sizes pending-request state
-  /// and the set sequencer.
+  /// `memory` (the backing-store model behind the LLC) must outlive the
+  /// LLC. `num_cores` sizes pending-request state and the set sequencer.
   PartitionedLlc(const LlcConfig& config, PartitionMap partitions,
-                 ContentionMode mode, int num_cores, mem::Dram& dram);
+                 ContentionMode mode, int num_cores,
+                 mem::MemoryBackend& memory);
 
   [[nodiscard]] const LlcConfig& config() const { return config_; }
   [[nodiscard]] const PartitionMap& partitions() const { return partitions_; }
@@ -214,12 +215,12 @@ class PartitionedLlc {
 
   void complete_pending(CoreId core, SetKey key);
   WritebackOutcome apply_back_inval_ack(CoreId core, LineAddr line,
-                                        bool dirty_data);
+                                        bool dirty_data, Cycle now);
 
   LlcConfig config_;
   PartitionMap partitions_;
   ContentionMode mode_;
-  mem::Dram* dram_;
+  mem::MemoryBackend* memory_;
   std::vector<mem::CacheSet> sets_;
   std::vector<std::vector<EntryState>> entry_states_;
   InclusiveDirectory directory_;

@@ -1,57 +1,89 @@
 #include "mem/dram.h"
 
 #include "common/assert.h"
+#include "common/string_util.h"
+#include "mem/memory_backend.h"
 
 namespace psllc::mem {
+
+std::string to_string(MemoryBackendKind kind) {
+  switch (kind) {
+    case MemoryBackendKind::kFixedLatency:
+      return "fixed";
+    case MemoryBackendKind::kBankRow:
+      return "bankrow";
+    case MemoryBackendKind::kWriteQueue:
+      return "writequeue";
+  }
+  return "?";
+}
+
+std::string to_string(PagePolicy policy) {
+  return policy == PagePolicy::kOpenPage ? "open" : "closed";
+}
+
+std::string to_string(BankMapping mapping) {
+  return mapping == BankMapping::kRowInterleaved ? "row-interleaved"
+                                                 : "line-interleaved";
+}
+
+MemoryBackendKind backend_kind_from_string(const std::string& text) {
+  if (iequals(text, "fixed")) {
+    return MemoryBackendKind::kFixedLatency;
+  }
+  if (iequals(text, "bankrow")) {
+    return MemoryBackendKind::kBankRow;
+  }
+  if (iequals(text, "writequeue")) {
+    return MemoryBackendKind::kWriteQueue;
+  }
+  throw ConfigError("unknown memory backend '" + text +
+                    "' (use fixed, bankrow or writequeue)");
+}
 
 void DramConfig::validate() const {
   PSLLC_CONFIG_CHECK(fixed_latency > 0, "DRAM latency must be positive");
   PSLLC_CONFIG_CHECK(line_bytes > 0 && is_pow2(static_cast<std::uint64_t>(
                                            line_bytes)),
                      "line size must be a power of two");
-  if (model_row_buffer) {
+  if (backend == MemoryBackendKind::kBankRow) {
     PSLLC_CONFIG_CHECK(num_banks > 0, "need >=1 DRAM bank");
-    PSLLC_CONFIG_CHECK(row_bytes >= line_bytes,
-                       "row must hold at least one line");
+    PSLLC_CONFIG_CHECK(row_bytes >= line_bytes &&
+                           row_bytes % line_bytes == 0,
+                       "row must hold a whole number of lines");
     PSLLC_CONFIG_CHECK(row_hit_latency > 0 &&
                            row_miss_latency >= row_hit_latency,
                        "row-buffer latencies inconsistent");
+    PSLLC_CONFIG_CHECK(closed_page_latency > 0,
+                       "closed-page latency must be positive");
+  }
+  if (backend == MemoryBackendKind::kWriteQueue) {
+    PSLLC_CONFIG_CHECK(wq_capacity > 0, "write queue needs capacity >= 1");
+    PSLLC_CONFIG_CHECK(wq_enqueue_latency > 0 && wq_drain_period > 0,
+                       "write-queue latencies must be positive");
   }
 }
 
-Dram::Dram(const DramConfig& config) : config_(config) {
-  config_.validate();
-  open_row_.assign(static_cast<std::size_t>(config_.num_banks), -1);
-}
-
-Cycle Dram::read(LineAddr line) {
-  ++reads_;
-  return service(line);
-}
-
-Cycle Dram::write(LineAddr line) {
-  ++writes_;
-  return service(line);
-}
-
-Cycle Dram::service(LineAddr line) {
-  if (!config_.model_row_buffer) {
-    return config_.fixed_latency;
+Cycle DramConfig::worst_case_latency() const {
+  // Dispatches on the selected backend: each case mirrors that backend's
+  // worst_case_latency() override without constructing one (the
+  // conformance battery asserts config and backend always agree).
+  switch (backend) {
+    case MemoryBackendKind::kFixedLatency:
+      return fixed_latency;
+    case MemoryBackendKind::kBankRow:
+      return page_policy == PagePolicy::kOpenPage ? row_miss_latency
+                                                  : closed_page_latency;
+    case MemoryBackendKind::kWriteQueue:
+      return fixed_latency + wq_enqueue_latency;
   }
-  const Addr byte_addr = line * static_cast<Addr>(config_.line_bytes);
-  const auto bank = static_cast<std::size_t>(
-      (byte_addr / static_cast<Addr>(config_.row_bytes)) %
-      static_cast<Addr>(config_.num_banks));
-  const auto row = static_cast<std::int64_t>(
-      byte_addr / (static_cast<Addr>(config_.row_bytes) *
-                   static_cast<Addr>(config_.num_banks)));
-  if (open_row_[bank] == row) {
-    ++row_hits_;
-    return config_.row_hit_latency;
-  }
-  ++row_misses_;
-  open_row_[bank] = row;
-  return config_.row_miss_latency;
+  PSLLC_ASSERT(false,
+               "unknown memory backend kind " << static_cast<int>(backend));
+  return fixed_latency;
+}
+
+std::unique_ptr<MemoryBackend> DramConfig::make_backend() const {
+  return make_memory_backend(*this);
 }
 
 }  // namespace psllc::mem

@@ -1,65 +1,101 @@
-// DRAM backing-store model.
+// DRAM backing-store configuration and backend selection.
 //
 // The paper's analysis requires only that an LLC fill completes within the
-// requester's TDM slot, so the system model uses the fixed-latency mode and
-// validates `slot_width >= llc_lookup + dram_latency`. A simple open-page
-// row-buffer mode is provided for the memory-sensitivity ablation bench.
+// requester's TDM slot, so the system model validates
+// `slot_width >= llc_lookup + worst_case_latency()` — where the worst-case
+// term is supplied by the *selected memory backend* (see
+// mem/memory_backend.h). Three backend families are provided:
+//
+//  * kFixedLatency — every access costs `fixed_latency` (the paper's model);
+//  * kBankRow      — bank/row-conflict model with selectable open-/closed-
+//                    page policy and configurable bank mapping;
+//  * kWriteQueue   — batched write-queue model: dirty evictions buffer in a
+//                    bounded queue that drains off the critical path; a full
+//                    queue back-pressures the writer with one synchronous
+//                    head drain (the documented worst-case term).
 #ifndef PSLLC_MEM_DRAM_H_
 #define PSLLC_MEM_DRAM_H_
 
 #include <cstdint>
-#include <vector>
+#include <memory>
+#include <string>
 
 #include "common/types.h"
 #include "mem/cache_types.h"
 
 namespace psllc::mem {
 
+class MemoryBackend;
+
+/// Which memory model services LLC fills and write-backs.
+enum class MemoryBackendKind : std::uint8_t {
+  kFixedLatency,  ///< constant per-access latency (paper system model)
+  kBankRow,       ///< bank/row-conflict model (open- or closed-page)
+  kWriteQueue,    ///< buffered dirty evictions draining off the critical path
+};
+
+/// Row-buffer management policy of the bank/row backend.
+enum class PagePolicy : std::uint8_t {
+  kOpenPage,    ///< row stays open: hits are cheap, conflicts cost the most
+  kClosedPage,  ///< auto-precharge: every access costs the same, lower worst
+};
+
+/// How line addresses map to DRAM banks (bank/row backend).
+enum class BankMapping : std::uint8_t {
+  kRowInterleaved,   ///< consecutive rows rotate across banks
+  kLineInterleaved,  ///< consecutive lines rotate across banks
+};
+
+[[nodiscard]] std::string to_string(MemoryBackendKind kind);
+[[nodiscard]] std::string to_string(PagePolicy policy);
+[[nodiscard]] std::string to_string(BankMapping mapping);
+/// Parses "fixed", "bankrow", "writequeue" (case-insensitive). Throws
+/// ConfigError on unknown names.
+[[nodiscard]] MemoryBackendKind backend_kind_from_string(
+    const std::string& text);
+
 struct DramConfig {
-  Cycle fixed_latency = 30;    ///< used when model_row_buffer == false
-  bool model_row_buffer = false;
+  MemoryBackendKind backend = MemoryBackendKind::kFixedLatency;
+  int line_bytes = 64;
+
+  // --- kFixedLatency (also the read path of kWriteQueue) ------------------
+  Cycle fixed_latency = 30;
+
+  // --- kBankRow -----------------------------------------------------------
   int num_banks = 8;
   int row_bytes = 2048;
   Cycle row_hit_latency = 18;
   Cycle row_miss_latency = 42;
-  int line_bytes = 64;
+  /// Closed-page cost: activate + access with the bank already precharged —
+  /// above a row hit, below an open-page row conflict.
+  Cycle closed_page_latency = 34;
+  PagePolicy page_policy = PagePolicy::kOpenPage;
+  BankMapping bank_mapping = BankMapping::kRowInterleaved;
+
+  // --- kWriteQueue ----------------------------------------------------------
+  /// Bounded write-queue capacity; a full queue back-pressures the writer.
+  int wq_capacity = 8;
+  /// Cost of handing a write to the queue (the fast path).
+  Cycle wq_enqueue_latency = 2;
+  /// Background drain rate: one buffered write retires to DRAM every
+  /// `wq_drain_period` cycles while the queue is non-empty. The rate only
+  /// shapes behavior (how often the queue fills); the worst-case term is
+  /// the back-pressure path — a write arriving at a full queue forces one
+  /// synchronous head drain (fixed_latency) before its enqueue, so
+  /// worst_case_latency() = fixed_latency + wq_enqueue_latency.
+  Cycle wq_drain_period = 40;
 
   void validate() const;
 
-  /// The worst-case latency of a single access under this configuration —
-  /// what the TDM slot must be able to absorb.
-  [[nodiscard]] Cycle worst_case_latency() const {
-    return model_row_buffer ? row_miss_latency : fixed_latency;
-  }
-};
+  /// The worst-case latency of a single access — what the TDM slot must be
+  /// able to absorb. Supplied by the selected backend (every backend's
+  /// MemoryBackend::worst_case_latency() returns exactly this value; the
+  /// conformance battery in tests/test_dram.cc checks the contract).
+  [[nodiscard]] Cycle worst_case_latency() const;
 
-class Dram {
- public:
-  explicit Dram(const DramConfig& config);
-
-  /// Latency to read the line at `line` (fills an LLC miss).
-  Cycle read(LineAddr line);
-
-  /// Latency to write the line at `line` (dirty LLC eviction). The system
-  /// model treats LLC->DRAM writes as buffered off the critical path, but
-  /// the latency is still modeled and counted for the ablation bench.
-  Cycle write(LineAddr line);
-
-  [[nodiscard]] std::int64_t reads() const { return reads_; }
-  [[nodiscard]] std::int64_t writes() const { return writes_; }
-  [[nodiscard]] std::int64_t row_hits() const { return row_hits_; }
-  [[nodiscard]] std::int64_t row_misses() const { return row_misses_; }
-  [[nodiscard]] const DramConfig& config() const { return config_; }
-
- private:
-  Cycle service(LineAddr line);
-
-  DramConfig config_;
-  std::vector<std::int64_t> open_row_;  // per bank; -1 = closed
-  std::int64_t reads_ = 0;
-  std::int64_t writes_ = 0;
-  std::int64_t row_hits_ = 0;
-  std::int64_t row_misses_ = 0;
+  /// Builds a fresh backend instance of the selected kind. Each System owns
+  /// its own instance, so parallel sweep cells share no memory-model state.
+  [[nodiscard]] std::unique_ptr<MemoryBackend> make_backend() const;
 };
 
 }  // namespace psllc::mem

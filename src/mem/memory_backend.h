@@ -1,0 +1,201 @@
+// Pluggable memory-backend interface behind the LLC.
+//
+// The system model (core/System) charges every LLC fill and write-back to
+// the requester's TDM slot; SystemConfig::validate enforces
+// `slot_width >= llc_lookup + backend.worst_case_latency()`, so *any*
+// backend that honors the WCL contract below preserves the paper's bounds.
+//
+// WCL contract every backend must export:
+//  * worst_case_latency() upper-bounds the latency returned by every single
+//    read()/write() call, for every address stream and access time — the
+//    base class asserts this on each access, and the conformance battery in
+//    tests/test_dram.cc checks it under randomized streams;
+//  * worst_case_latency() is a pure function of the configuration (it never
+//    changes as state accumulates), so SystemConfig::validate can evaluate
+//    it before the run;
+//  * accesses are presented in non-decreasing `now` order (the TDM bus
+//    serializes them); backends may keep internal clocks keyed on `now`.
+//
+// Thread safety is by cloning, not locking: a backend instance is owned by
+// exactly one System. clone() yields an independent deep copy (state and
+// counters) for checkpointing; DramConfig::make_backend() builds a fresh
+// one per System, which is how the parallel sweep harness stays
+// bit-identical to the serial path.
+#ifndef PSLLC_MEM_MEMORY_BACKEND_H_
+#define PSLLC_MEM_MEMORY_BACKEND_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "mem/dram.h"
+
+namespace psllc::mem {
+
+/// Access/behavior counters every backend maintains. Backends ignore the
+/// fields their model has no notion of (they stay 0).
+struct MemoryCounters {
+  std::int64_t reads = 0;
+  std::int64_t writes = 0;
+  // kBankRow
+  std::int64_t row_hits = 0;
+  std::int64_t row_misses = 0;
+  // kWriteQueue
+  std::int64_t queued_writes = 0;   ///< writes accepted into the queue
+  std::int64_t drained_writes = 0;  ///< queued writes retired to DRAM
+  std::int64_t write_stalls = 0;    ///< back-pressure events (queue full)
+  std::int64_t max_queue_depth = 0;
+  /// Worst single-access latency observed so far (any backend).
+  Cycle max_latency = 0;
+
+  [[nodiscard]] std::int64_t accesses() const { return reads + writes; }
+};
+
+class MemoryBackend {
+ public:
+  virtual ~MemoryBackend() = default;
+  MemoryBackend& operator=(const MemoryBackend&) = delete;
+
+  /// Latency to read the line at `line` (fills an LLC miss) at time `now`.
+  Cycle read(LineAddr line, Cycle now);
+
+  /// Latency to write the line at `line` (dirty LLC eviction) at time
+  /// `now`. The system model treats LLC->DRAM writes as buffered off the
+  /// critical path, but the latency is still modeled, bounded by the WCL
+  /// contract, and counted.
+  Cycle write(LineAddr line, Cycle now);
+
+  /// Upper bound on any single read()/write() latency; constant per
+  /// configuration. The TDM slot must absorb llc_lookup + this.
+  [[nodiscard]] virtual Cycle worst_case_latency() const = 0;
+
+  /// Stable identifier ("fixed", "bankrow", "writequeue").
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Independent deep copy (model state and counters).
+  [[nodiscard]] virtual std::unique_ptr<MemoryBackend> clone() const = 0;
+
+  [[nodiscard]] const MemoryCounters& counters() const { return counters_; }
+  [[nodiscard]] const DramConfig& config() const { return config_; }
+
+ protected:
+  explicit MemoryBackend(const DramConfig& config);
+  /// clone() support: copies model state, counters and the access clock, so
+  /// a clone continues exactly where the original stands.
+  MemoryBackend(const MemoryBackend&) = default;
+
+  virtual Cycle service_read(LineAddr line, Cycle now) = 0;
+  virtual Cycle service_write(LineAddr line, Cycle now) = 0;
+
+  DramConfig config_;
+  MemoryCounters counters_;
+
+ private:
+  Cycle record(Cycle latency, Cycle now);
+
+  Cycle last_access_ = kNoCycle;
+};
+
+/// The paper's system model: every access costs `fixed_latency`.
+class FixedLatencyBackend final : public MemoryBackend {
+ public:
+  explicit FixedLatencyBackend(const DramConfig& config);
+
+  [[nodiscard]] Cycle worst_case_latency() const override;
+  [[nodiscard]] const char* name() const override { return "fixed"; }
+  [[nodiscard]] std::unique_ptr<MemoryBackend> clone() const override;
+
+ protected:
+  Cycle service_read(LineAddr line, Cycle now) override;
+  Cycle service_write(LineAddr line, Cycle now) override;
+};
+
+/// Bank/row-conflict model. Open-page keeps the last row of each bank open
+/// (hit: row_hit_latency, conflict: row_miss_latency); closed-page
+/// auto-precharges, so every access costs closed_page_latency — a lower,
+/// access-independent worst case bought by giving up row hits. The bank
+/// mapping is selectable (row- vs line-interleaved).
+class BankRowBackend final : public MemoryBackend {
+ public:
+  explicit BankRowBackend(const DramConfig& config);
+
+  [[nodiscard]] Cycle worst_case_latency() const override;
+  [[nodiscard]] const char* name() const override { return "bankrow"; }
+  [[nodiscard]] std::unique_ptr<MemoryBackend> clone() const override;
+
+  /// Bank index of `line` under the configured mapping (exposed so the
+  /// conformance battery can check accounting against a reference model).
+  [[nodiscard]] int bank_of(LineAddr line) const;
+  /// Row index of `line` within its bank.
+  [[nodiscard]] std::int64_t row_of(LineAddr line) const;
+
+ protected:
+  Cycle service_read(LineAddr line, Cycle now) override;
+  Cycle service_write(LineAddr line, Cycle now) override;
+
+ private:
+  Cycle service(LineAddr line);
+
+  std::vector<std::int64_t> open_row_;  ///< per bank; -1 = closed
+};
+
+/// Batched write-queue model: writes buffer in a bounded FIFO at
+/// wq_enqueue_latency and retire to DRAM in the background, one per
+/// wq_drain_period while the queue is non-empty; reads bypass the queue
+/// (the controller prioritizes them; a queued copy of the line is
+/// forwarded latency-neutrally) and cost fixed_latency. Back-pressure is
+/// the bounded worst-case term: a write arriving at a full queue forces
+/// the controller to drain the head *synchronously* — one full DRAM write
+/// on the critical path — before enqueueing, so even a stream that writes
+/// faster than the background drain rate forever pays a fixed per-access
+/// premium rather than an ever-growing wait:
+///   worst_case_latency() = max(fixed_latency,                // reads
+///                              fixed_latency + wq_enqueue_latency).
+class WriteQueueBackend final : public MemoryBackend {
+ public:
+  explicit WriteQueueBackend(const DramConfig& config);
+
+  [[nodiscard]] Cycle worst_case_latency() const override;
+  [[nodiscard]] const char* name() const override { return "writequeue"; }
+  [[nodiscard]] std::unique_ptr<MemoryBackend> clone() const override;
+
+  /// Writes still buffered (not yet drained) as of the last access.
+  [[nodiscard]] int pending_queue_depth() const {
+    return static_cast<int>(queue_.size());
+  }
+
+ protected:
+  Cycle service_read(LineAddr line, Cycle now) override;
+  Cycle service_write(LineAddr line, Cycle now) override;
+
+ private:
+  /// Retires every queued write whose drain completed by `now`.
+  void drain(Cycle now);
+
+  /// Drain-completion times, non-decreasing (one entry per queued write).
+  std::deque<Cycle> queue_;
+};
+
+/// Factory behind DramConfig::make_backend(). Validates `config` first.
+[[nodiscard]] std::unique_ptr<MemoryBackend> make_memory_backend(
+    const DramConfig& config);
+
+/// One labeled configuration per behaviorally distinct backend variant
+/// (closed-page ignores the bank mapping — every access costs the same —
+/// so only the open-page mappings are enumerated separately). This is the
+/// single source the conformance battery (tests/test_dram.cc), the
+/// per-backend WCL property grid (tests/test_wcl_bounds_property.cc) and
+/// the ablation_dram_backend bench all sweep — a backend added here is
+/// covered everywhere automatically.
+struct BackendVariant {
+  std::string label;
+  DramConfig config;
+};
+[[nodiscard]] std::vector<BackendVariant> registered_backend_variants();
+
+}  // namespace psllc::mem
+
+#endif  // PSLLC_MEM_MEMORY_BACKEND_H_

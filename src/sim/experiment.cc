@@ -36,8 +36,10 @@ SweepCell run_cell(const SweepConfig& config, std::int64_t range,
   // every configuration, as the paper requires.
   const std::vector<core::Trace> traces = make_disjoint_random_workload(
       config.active_cores, workload, options.seed);
-  const core::ExperimentSetup setup =
+  core::ExperimentSetup setup =
       core::make_paper_setup(config.notation, config.active_cores);
+  setup.config.dram = options.dram;
+  setup.config.validate();
   RunOptions run_options;
   run_options.max_cycles = options.max_cycles;
   SweepCell cell;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/table.h"
+#include "mem/dram.h"
 #include "results/result_store.h"
 #include "sim/runner.h"
 #include "sim/workload.h"
@@ -31,6 +32,10 @@ struct SweepOptions {
   double write_fraction = 0.25;
   std::uint64_t seed = 42;
   Cycle max_cycles = 2'000'000'000;
+  /// Memory backend behind the LLC for every cell (default: the paper's
+  /// fixed-latency model). The trace grid is backend-independent, so sweeps
+  /// over `dram.backend` replay identical addresses per cell.
+  mem::DramConfig dram;
   /// Worker threads for the sweep grid. Each cell builds its own
   /// core::System, so cells are embarrassingly parallel; results are
   /// bit-identical to the serial path regardless of thread count.

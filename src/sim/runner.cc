@@ -46,8 +46,9 @@ RunMetrics run_system(core::System& system,
     metrics.makespan = system.makespan();
   }
   metrics.llc_stats = system.llc().stats();
-  metrics.dram_reads = system.dram().reads();
-  metrics.dram_writes = system.dram().writes();
+  metrics.memory = system.memory().counters();
+  metrics.dram_reads = metrics.memory.reads;
+  metrics.dram_writes = metrics.memory.writes;
   return metrics;
 }
 

@@ -9,6 +9,7 @@
 
 #include "core/system.h"
 #include "core/system_config.h"
+#include "mem/memory_backend.h"
 
 namespace psllc::sim {
 
@@ -24,8 +25,11 @@ struct RunMetrics {
   std::vector<std::int64_t> per_core_l2_hits;
   std::vector<std::int64_t> per_core_misses;
   llc::PartitionedLlc::Stats llc_stats;
-  std::int64_t dram_reads = 0;
-  std::int64_t dram_writes = 0;
+  /// Full counter set of the memory backend (row hits/misses, write-queue
+  /// depth/stalls, worst observed access latency, ...).
+  mem::MemoryCounters memory;
+  std::int64_t dram_reads = 0;   ///< == memory.reads
+  std::int64_t dram_writes = 0;  ///< == memory.writes
 };
 
 struct RunOptions {

@@ -186,7 +186,7 @@ TEST(SetSequencer, HardwareCapacityAsserts) {
 
 struct LlcHarness {
   LlcConfig config;
-  mem::Dram dram;
+  mem::FixedLatencyBackend dram;
   PartitionedLlc llc;
 
   LlcHarness(ContentionMode mode, int sets, int ways, int sharers,
@@ -359,7 +359,7 @@ TEST(PartitionedLlc, DropPendingRequestCleansSequencer) {
 TEST(PartitionedLlc, RejectsMismatchedPartitionGeometry) {
   LlcConfig config;
   mem::DramConfig dram_config;
-  mem::Dram dram(dram_config);
+  mem::FixedLatencyBackend dram(dram_config);
   PartitionMap map(mem::CacheGeometry{16, 16, 64});  // wrong set count
   map.add_partition(PartitionSpec{0, 1, 0, 1}, {CoreId{0}});
   EXPECT_THROW(

@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include "core/system.h"
+#include "mem/memory_backend.h"
+#include "sim/experiment.h"
 #include "sim/workload.h"
 
 namespace psllc::core {
@@ -79,6 +81,86 @@ INSTANTIATE_TEST_SUITE_P(
       }
       return name;
     });
+
+// Write-queue backend under saturated dirty-eviction traffic: a write-heavy
+// workload on a one-set shared partition maximizes dirty LLC evictions, all
+// funneled through the bounded write queue. The queue must never exceed its
+// physical capacity, never lose a write-back (everything queued either
+// drained or is still buffered), and — because validate() sized the slot
+// against the backend's worst case, and the TDM bus presents at most one
+// eviction per slot — never back-pressure the critical path.
+TEST(WriteQueueStress, SaturatedDirtyEvictionsStayBoundedAndLossless) {
+  ExperimentSetup setup = make_paper_setup("SS(1,4,4)", 4);
+  setup.config.dram.backend = mem::MemoryBackendKind::kWriteQueue;
+  setup.config.dram.wq_capacity = 2;
+  setup.config.validate();
+  System system(setup);
+  const auto& queue =
+      dynamic_cast<const mem::WriteQueueBackend&>(system.memory());
+  const int period = system.schedule().slots_per_period();
+  system.add_slot_observer([&](const SlotEvent& event) {
+    if (event.slot_index % period != 0) {
+      return;
+    }
+    const mem::MemoryCounters& counters = system.memory().counters();
+    ASSERT_LE(queue.pending_queue_depth(), setup.config.dram.wq_capacity);
+    ASSERT_EQ(counters.drained_writes + queue.pending_queue_depth(),
+              counters.queued_writes);
+  });
+  sim::RandomWorkloadOptions workload;
+  workload.range_bytes = 32768;
+  workload.accesses = 5000;
+  workload.write_fraction = 0.9;
+  const auto traces = sim::make_disjoint_random_workload(4, workload, 109);
+  for (int c = 0; c < 4; ++c) {
+    system.set_trace(CoreId{c}, traces[static_cast<std::size_t>(c)]);
+  }
+  ASSERT_TRUE(system.run(2'000'000'000).all_done);
+  const mem::MemoryCounters& counters = system.memory().counters();
+  EXPECT_GT(counters.queued_writes, 1000);  // the workload really saturated
+  EXPECT_EQ(counters.queued_writes, counters.writes);
+  EXPECT_EQ(counters.drained_writes + queue.pending_queue_depth(),
+            counters.queued_writes);
+  EXPECT_LE(counters.max_queue_depth, setup.config.dram.wq_capacity);
+  // The slot constraint keeps the bus ahead of the drain rate, so the
+  // bounded queue never back-pressures inside a valid system.
+  EXPECT_EQ(counters.write_stalls, 0);
+  EXPECT_LE(counters.max_latency, setup.config.dram.worst_case_latency());
+}
+
+// The sweep harness must stay bit-identical across worker-thread counts
+// with a stateful memory backend: every System owns a fresh backend clone,
+// so no memory-model state leaks between cells.
+TEST(WriteQueueStress, SweepDeterministicAcrossThreadCounts) {
+  sim::SweepOptions serial;
+  serial.address_ranges = {8192, 32768};
+  serial.accesses_per_core = 2000;
+  serial.write_fraction = 0.9;
+  serial.seed = 77;
+  serial.threads = 1;
+  serial.dram.backend = mem::MemoryBackendKind::kWriteQueue;
+  serial.dram.wq_capacity = 4;
+  sim::SweepOptions parallel = serial;
+  parallel.threads = 4;
+  const std::vector<sim::SweepConfig> configs = {{"SS(1,4,4)", 4},
+                                                 {"P(1,2)", 4}};
+  const sim::SweepResult a = sim::run_sweep(configs, serial);
+  const sim::SweepResult b = sim::run_sweep(configs, parallel);
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    const sim::RunMetrics& ma = a.cells[i].metrics;
+    const sim::RunMetrics& mb = b.cells[i].metrics;
+    EXPECT_EQ(ma.makespan, mb.makespan) << "cell " << i;
+    EXPECT_EQ(ma.observed_wcl, mb.observed_wcl) << "cell " << i;
+    EXPECT_EQ(ma.memory.queued_writes, mb.memory.queued_writes)
+        << "cell " << i;
+    EXPECT_EQ(ma.memory.drained_writes, mb.memory.drained_writes)
+        << "cell " << i;
+    EXPECT_EQ(ma.memory.max_queue_depth, mb.memory.max_queue_depth)
+        << "cell " << i;
+    EXPECT_EQ(ma.memory.max_latency, mb.memory.max_latency) << "cell " << i;
+  }
+}
 
 }  // namespace
 }  // namespace psllc::core

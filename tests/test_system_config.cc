@@ -81,6 +81,29 @@ TEST(SystemConfig, SlotMustAbsorbFill) {
   EXPECT_NO_THROW(config.validate());
 }
 
+// The fill term validate() checks is supplied by the *selected* memory
+// backend: a slot that absorbs the fixed-latency model can be undersized
+// for the open-page bank/row model (worst case = a row conflict), while
+// the closed-page policy tightens the requirement back down.
+TEST(SystemConfig, SlotMustAbsorbSelectedBackendWorstCase) {
+  SystemConfig config;
+  config.slot_width = 45;  // lookup (5) + fixed (30) fits
+  EXPECT_NO_THROW(config.validate());
+  config.dram.backend = mem::MemoryBackendKind::kBankRow;
+  // Open page: lookup (5) + row conflict (42) = 47 > 45 — rejected.
+  EXPECT_THROW(config.validate(), ConfigError);
+  config.dram.page_policy = mem::PagePolicy::kClosedPage;
+  // Closed page: lookup (5) + activation (34) = 39 — fits again.
+  EXPECT_NO_THROW(config.validate());
+  config.dram.backend = mem::MemoryBackendKind::kWriteQueue;
+  // Write queue: lookup (5) + back-pressure term (30 + 2) = 37 — fits.
+  EXPECT_NO_THROW(config.validate());
+  config.slot_width = 36;  // one cycle short of the write-queue term
+  EXPECT_THROW(config.validate(), ConfigError);
+  config.dram.wq_enqueue_latency = 1;
+  EXPECT_NO_THROW(config.validate());
+}
+
 TEST(SystemConfig, ExplicitScheduleChecked) {
   SystemConfig config;
   config.num_cores = 2;
