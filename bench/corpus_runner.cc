@@ -1,0 +1,157 @@
+// Corpus runner — trace-driven workloads at scale. Replays a corpus of
+// recorded traces (a directory of .trace/.pslt files named by
+// $PSLLC_CORPUS_DIR, or the deterministic built-in demo corpus) across a
+// grid of partition configurations through sim::run_batch, and checks the
+// paper's central claim per (trace, configuration) cell: the observed
+// worst-case service latency never exceeds the analytical WCL bound
+// (Wu & Patel, DAC'22, Theorems 4.7/4.8). Because the built-in corpus and
+// the files `trace_convert --demo` emits are identical, running this bench
+// against a converted on-disk corpus (the corpus-smoke CI job) must
+// reproduce the committed golden baseline bit for bit — which gates the
+// whole text->binary->mmap ingestion pipeline, not just the simulator.
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/assert.h"
+#include "bench/registry.h"
+#include "sim/corpus.h"
+
+namespace {
+
+using namespace psllc;       // NOLINT
+using namespace psllc::sim;  // NOLINT
+
+constexpr char kTitle[] =
+    "Corpus runner: recorded traces x partition configurations";
+constexpr char kReference[] =
+    "Wu & Patel, DAC'22, Section 5 methodology over recorded traces";
+
+int run(bench::BenchContext& ctx) {
+  bench::print_header(kTitle, kReference);
+
+  const int accesses = ctx.pick(4000, 400);
+  std::string corpus_source = "builtin";
+  std::vector<CorpusEntry> corpus;
+  if (const char* dir = std::getenv("PSLLC_CORPUS_DIR");
+      dir != nullptr && *dir != '\0') {
+    corpus_source = dir;
+    corpus = load_corpus_dir(dir);
+  } else {
+    corpus = make_demo_corpus(accesses);
+  }
+
+  // Mirrored replay (the default) needs shiftable addresses; recorded
+  // traces touching the top of the address space select solo replay here.
+  CorpusReplay replay = CorpusReplay::kMirrored;
+  std::string replay_name = "mirrored";
+  if (const char* env = std::getenv("PSLLC_CORPUS_REPLAY");
+      env != nullptr && *env != '\0') {
+    replay_name = env;
+    if (replay_name == "solo") {
+      replay = CorpusReplay::kSolo;
+    } else {
+      PSLLC_CONFIG_CHECK(replay_name == "mirrored",
+                         "PSLLC_CORPUS_REPLAY must be 'mirrored' or "
+                         "'solo', got '"
+                             << replay_name << "'");
+    }
+  }
+
+  SweepOptions options;
+  options.threads = ctx.threads;
+  std::vector<SweepConfig> configs = {
+      {"SS(32,2,2)", 2}, {"NSS(32,2,2)", 2}, {"P(8,2)", 2}};
+  if (!ctx.quick()) {
+    configs.push_back({"SS(32,2,4)", 4});
+    configs.push_back({"NSS(32,2,4)", 4});
+    configs.push_back({"P(8,2)", 4});
+  }
+
+  const CorpusResult result = run_corpus(corpus, configs, options, replay);
+
+  results::BenchResult res(
+      ctx.make_meta("corpus_runner", kTitle, kReference));
+  res.meta().set_param("corpus", corpus_source);
+  res.meta().set_param("entries", std::to_string(corpus.size()));
+  // The accesses knob sizes only the built-in demo corpus; directory
+  // traces define their own sizes (recorded in corpus_traces).
+  if (corpus_source == "builtin") {
+    res.meta().set_param("accesses", std::to_string(accesses));
+  }
+  res.meta().set_param("replay", replay_name);
+
+  auto& traces_series = res.add_series(
+      "corpus_traces",
+      {{"trace", results::ColumnType::kText, results::ColumnKind::kExact,
+        ""},
+       {"ops", results::ColumnType::kInt, results::ColumnKind::kExact, ""},
+       {"reads", results::ColumnType::kInt, results::ColumnKind::kExact, ""},
+       {"writes", results::ColumnType::kInt, results::ColumnKind::kExact,
+        ""},
+       {"ifetches", results::ColumnType::kInt, results::ColumnKind::kExact,
+        ""},
+       {"distinct_lines", results::ColumnType::kInt,
+        results::ColumnKind::kExact, ""}});
+  for (const CorpusEntry& entry : corpus) {
+    const TraceStats stats = compute_trace_stats(entry.trace);
+    traces_series.add_row(
+        {results::Value::of_text(entry.name),
+         results::Value::of_int(static_cast<std::int64_t>(entry.trace.size())),
+         results::Value::of_int(stats.reads),
+         results::Value::of_int(stats.writes),
+         results::Value::of_int(stats.ifetches),
+         results::Value::of_int(stats.distinct_lines)});
+  }
+
+  auto& wcl_series = res.add_series(
+      "corpus_wcl",
+      {{"trace", results::ColumnType::kText, results::ColumnKind::kExact,
+        ""},
+       {"config", results::ColumnType::kText, results::ColumnKind::kExact,
+        ""},
+       {"cores", results::ColumnType::kInt, results::ColumnKind::kExact, ""},
+       {"analytical_wcl", results::ColumnType::kInt,
+        results::ColumnKind::kExact, "cycles"},
+       {"observed_wcl", results::ColumnType::kInt,
+        results::ColumnKind::kTiming, "cycles"},
+       {"makespan", results::ColumnType::kInt, results::ColumnKind::kTiming,
+        "cycles"},
+       {"llc_requests", results::ColumnType::kInt,
+        results::ColumnKind::kExact, ""},
+       {"bound_ok", results::ColumnType::kInt, results::ColumnKind::kExact,
+        ""}});
+
+  bool all_completed = true;
+  bool bounds_hold = true;
+  for (int e = 0; e < static_cast<int>(result.names.size()); ++e) {
+    for (int c = 0; c < static_cast<int>(result.configs.size()); ++c) {
+      const CorpusCell& cell = result.cell(e, c);
+      const RunMetrics& m = cell.metrics;
+      // The per-cell claim check: diffable as an exact column, aggregated
+      // below into the bench-level claims.
+      const bool bound_ok = m.completed && m.observed_wcl <= m.analytical_wcl;
+      all_completed = all_completed && m.completed;
+      bounds_hold = bounds_hold && bound_ok;
+      wcl_series.add_row(
+          {results::Value::of_text(cell.trace_name),
+           results::Value::of_text(cell.config.notation),
+           results::Value::of_int(cell.config.active_cores),
+           results::Value::of_int(m.analytical_wcl),
+           results::Value::of_cycles(m.observed_wcl, m.completed),
+           results::Value::of_cycles(m.makespan, m.completed),
+           results::Value::of_int(m.llc_requests),
+           results::Value::of_int(bound_ok ? 1 : 0)});
+    }
+  }
+
+  res.add_claim("all corpus cells completed", all_completed);
+  res.add_claim("observed WCL <= analytical bound for every trace/config",
+                bounds_hold);
+  return bench::finish_bench(ctx, res);
+}
+
+}  // namespace
+
+PSLLC_REGISTER_BENCH(corpus_runner, run)

@@ -1,5 +1,6 @@
 #include "results/result_store.h"
 
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -170,6 +171,17 @@ void Series::add_row(std::vector<Value> cells) {
     PSLLC_CONFIG_CHECK(matches, "series '" << name_ << "': cell " << c
                                            << " ('" << columns_[c].name
                                            << "') has the wrong type");
+    // NaN/inf would serialize as null in JSON but as "nan"/"inf" in CSV,
+    // so the two artifacts of one run would disagree and results_diff
+    // would silently compare against null. Reject at insertion; emit
+    // Value::null() ("DNF") for runs without a meaningful value.
+    PSLLC_CONFIG_CHECK(cells[c].type() != Value::Type::kReal ||
+                           std::isfinite(cells[c].as_real()),
+                       "series '" << name_ << "' column '"
+                                  << columns_[c].name
+                                  << "': non-finite real value ("
+                                  << cells[c].repr()
+                                  << "); use Value::null() for DNF");
   }
   rows_.push_back(std::move(cells));
 }

@@ -82,8 +82,9 @@ class Value {
 };
 
 /// A named table of typed columns. Rows are validated against the schema on
-/// insertion: wrong arity or a non-null cell of the wrong type throws
-/// ConfigError (null is allowed in any column).
+/// insertion: wrong arity, a non-null cell of the wrong type, or a
+/// non-finite real (NaN/inf would serialize differently in JSON vs CSV)
+/// throws ConfigError (null is allowed in any column).
 class Series {
  public:
   Series(std::string name, std::vector<Column> columns);

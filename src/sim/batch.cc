@@ -34,6 +34,13 @@ std::string BatchReport::error_summary() const {
   return oss.str();
 }
 
+int resolve_thread_budget(int threads) {
+  return threads > 0
+             ? threads
+             : std::max(1,
+                        static_cast<int>(std::thread::hardware_concurrency()));
+}
+
 namespace {
 
 std::string format_seconds(double seconds) {
@@ -62,10 +69,7 @@ BatchReport run_batch(std::vector<BatchJob> jobs,
                                      << "': threads_wanted must be >= 0");
   }
 
-  const int total_budget =
-      options.threads > 0
-          ? options.threads
-          : std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  const int total_budget = resolve_thread_budget(options.threads);
 
   BatchReport report;
   report.jobs.resize(jobs.size());

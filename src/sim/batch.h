@@ -65,6 +65,12 @@ struct BatchReport {
   [[nodiscard]] std::string error_summary() const;
 };
 
+/// The worker-thread budget `threads` resolves to: itself when positive,
+/// else hardware concurrency (min 1). The single definition of the policy
+/// run_batch applies to BatchOptions::threads; callers sizing their own
+/// job counts against the budget must use it too.
+[[nodiscard]] int resolve_thread_budget(int threads);
+
 /// Runs `jobs` under the shared budget. Never throws on job failure —
 /// inspect the report; throws ConfigError on invalid options.
 [[nodiscard]] BatchReport run_batch(std::vector<BatchJob> jobs,

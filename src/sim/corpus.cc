@@ -1,0 +1,299 @@
+#include "sim/corpus.h"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <set>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "common/assert.h"
+#include "common/string_util.h"
+#include "sim/batch.h"
+#include "sim/trace_io.h"
+#include "sim/workload.h"
+#include "trace/binary_io.h"
+
+namespace psllc::sim {
+
+const CorpusCell& CorpusResult::cell(int entry_index,
+                                     int config_index) const {
+  PSLLC_ASSERT(entry_index >= 0 &&
+                   entry_index < static_cast<int>(names.size()),
+               "corpus entry index " << entry_index);
+  PSLLC_ASSERT(config_index >= 0 &&
+                   config_index < static_cast<int>(configs.size()),
+               "corpus config index " << config_index);
+  return cells[static_cast<std::size_t>(entry_index) * configs.size() +
+               static_cast<std::size_t>(config_index)];
+}
+
+namespace {
+
+/// Power-of-two window that contains every address of `trace` (plus its
+/// line), so shifted copies occupy disjoint footprints. Floors at 4 KiB to
+/// keep tiny traces' windows page-aligned.
+Addr mirror_window(const core::Trace& trace) {
+  Addr max_addr = 0;
+  for (const core::MemOp& op : trace) {
+    max_addr = std::max(max_addr, op.addr);
+  }
+  PSLLC_CONFIG_CHECK(max_addr <= (Addr{1} << 62),
+                     "corpus: trace addresses reach 0x"
+                         << std::hex << max_addr << std::dec
+                         << "; mirrored replay cannot shift disjoint "
+                            "copies — use solo replay");
+  return std::max<Addr>(std::bit_ceil(max_addr + 64), 4096);
+}
+
+/// Per-core traces for one cell. `window` is the precomputed
+/// mirror_window of the entry (unused for solo replay).
+std::vector<core::Trace> replay_traces(const CorpusEntry& entry,
+                                       int active_cores, CorpusReplay replay,
+                                       Addr window) {
+  if (replay == CorpusReplay::kSolo) {
+    return {entry.trace};
+  }
+  PSLLC_CONFIG_CHECK(
+      active_cores <= 1 ||
+          window <= (std::numeric_limits<Addr>::max() / 2) /
+                        static_cast<Addr>(active_cores - 1),
+      "corpus entry '" << entry.name
+                       << "': mirrored windows overflow the address space");
+  std::vector<core::Trace> traces;
+  traces.reserve(static_cast<std::size_t>(active_cores));
+  for (int c = 0; c < active_cores; ++c) {
+    core::Trace shifted = entry.trace;
+    const Addr offset = static_cast<Addr>(c) * window;
+    for (core::MemOp& op : shifted) {
+      op.addr += offset;
+    }
+    traces.push_back(std::move(shifted));
+  }
+  return traces;
+}
+
+CorpusCell run_corpus_cell(const CorpusEntry& entry,
+                           const SweepConfig& config,
+                           const SweepOptions& options,
+                           const std::vector<core::Trace>& traces) {
+  core::ExperimentSetup setup =
+      core::make_paper_setup(config.notation, config.active_cores);
+  setup.config.dram = options.dram;
+  setup.config.validate();
+  RunOptions run_options;
+  run_options.max_cycles = options.max_cycles;
+  CorpusCell cell;
+  cell.trace_name = entry.name;
+  cell.config = config;
+  cell.metrics = run_experiment(setup, traces, run_options);
+  return cell;
+}
+
+}  // namespace
+
+CorpusResult run_corpus(const std::vector<CorpusEntry>& entries,
+                        const std::vector<SweepConfig>& configs,
+                        const SweepOptions& options, CorpusReplay replay) {
+  PSLLC_CONFIG_CHECK(!entries.empty(), "corpus run needs >= 1 trace");
+  PSLLC_CONFIG_CHECK(!configs.empty(),
+                     "corpus run needs >= 1 configuration");
+  std::set<std::string> seen;
+  for (const CorpusEntry& entry : entries) {
+    PSLLC_CONFIG_CHECK(!entry.name.empty(), "corpus entry needs a name");
+    PSLLC_CONFIG_CHECK(seen.insert(entry.name).second,
+                       "duplicate corpus entry '" << entry.name << "'");
+  }
+
+  CorpusResult result;
+  result.configs = configs;
+  result.names.reserve(entries.size());
+  for (const CorpusEntry& entry : entries) {
+    result.names.push_back(entry.name);
+  }
+  result.cells.resize(entries.size() * configs.size());
+
+  // The config axis grouped by active core count: one batch job per
+  // (entry, core count) owning one shifted trace set, so even a
+  // single-trace corpus parallelizes across the core-count axis while the
+  // huge trace is copied once per core count, not per cell. Every cell
+  // writes only its own pre-sized slot, so results stay bit-identical for
+  // any thread count and scheduling order.
+  struct ConfigGroup {
+    int active_cores = 0;
+    std::vector<std::size_t> config_indices;
+  };
+  std::vector<ConfigGroup> groups;
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    ConfigGroup* group = nullptr;
+    for (ConfigGroup& g : groups) {
+      if (g.active_cores == configs[c].active_cores) {
+        group = &g;
+        break;
+      }
+    }
+    if (group == nullptr) {
+      groups.push_back({configs[c].active_cores, {}});
+      group = &groups.back();
+    }
+    group->config_indices.push_back(c);
+  }
+
+  // One mirror-geometry scan per entry, done up front so unshiftable
+  // addresses fail fast before any job is scheduled. Single-core configs
+  // never shift, so a grid without multi-core configs skips the scan and
+  // accepts traces at any address.
+  bool any_multicore = false;
+  for (const SweepConfig& config : configs) {
+    any_multicore = any_multicore || config.active_cores > 1;
+  }
+  std::vector<Addr> windows(entries.size(), 0);
+  if (replay == CorpusReplay::kMirrored && any_multicore) {
+    for (std::size_t e = 0; e < entries.size(); ++e) {
+      windows[e] = mirror_window(entries[e].trace);
+    }
+  }
+
+  std::vector<BatchJob> jobs;
+  jobs.reserve(entries.size() * groups.size());
+  for (std::size_t e = 0; e < entries.size(); ++e) {
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      BatchJob job;
+      job.name = groups.size() > 1
+                     ? entries[e].name + "@" +
+                           std::to_string(groups[g].active_cores) + "c"
+                     : entries[e].name;
+      job.threads_wanted = 1;
+      job.run = [&, e, g](int /*threads_granted*/) {
+        const ConfigGroup& group = groups[g];
+        const std::vector<core::Trace> traces = replay_traces(
+            entries[e], group.active_cores, replay, windows[e]);
+        for (const std::size_t c : group.config_indices) {
+          result.cells[e * configs.size() + c] =
+              run_corpus_cell(entries[e], configs[c], options, traces);
+        }
+      };
+      jobs.push_back(std::move(job));
+    }
+  }
+
+  BatchOptions batch;
+  batch.threads = options.threads;
+  batch.max_concurrent_jobs =
+      std::max(1, std::min(resolve_thread_budget(options.threads),
+                           static_cast<int>(jobs.size())));
+  const BatchReport report = run_batch(std::move(jobs), batch);
+  PSLLC_CONFIG_CHECK(report.all_ok(),
+                     "corpus run failed:\n" << report.error_summary());
+  return result;
+}
+
+std::vector<CorpusEntry> load_corpus_dir(const std::filesystem::path& dir) {
+  if (!std::filesystem::is_directory(dir)) {
+    throw std::runtime_error("corpus path " + dir.string() +
+                             " is not a directory");
+  }
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) {
+      continue;
+    }
+    const std::string ext = entry.path().extension().string();
+    if (iequals(ext, ".trace") ||
+        trace::has_binary_trace_extension(entry.path().string())) {
+      files.push_back(entry.path());
+    }
+  }
+  PSLLC_CONFIG_CHECK(!files.empty(), "corpus directory "
+                                         << dir.string()
+                                         << " holds no .trace/.pslt files");
+  std::sort(files.begin(), files.end(),
+            [](const std::filesystem::path& a,
+               const std::filesystem::path& b) {
+              return a.stem().string() < b.stem().string();
+            });
+  std::vector<CorpusEntry> corpus;
+  corpus.reserve(files.size());
+  for (const std::filesystem::path& file : files) {
+    CorpusEntry entry;
+    entry.name = file.stem().string();
+    PSLLC_CONFIG_CHECK(corpus.empty() || corpus.back().name != entry.name,
+                       "corpus directory "
+                           << dir.string() << ": two trace files share the "
+                           << "stem '" << entry.name << "'");
+    entry.trace = read_trace_file(file.string());
+    corpus.push_back(std::move(entry));
+  }
+  return corpus;
+}
+
+void TraceStatsAccumulator::add(const core::MemOp& op) {
+  if (stats_.ops == 0) {
+    stats_.min_addr = op.addr;
+  }
+  ++stats_.ops;
+  stats_.reads += op.type == AccessType::kRead ? 1 : 0;
+  stats_.writes += op.type == AccessType::kWrite ? 1 : 0;
+  stats_.ifetches += op.type == AccessType::kIfetch ? 1 : 0;
+  stats_.min_addr = std::min(stats_.min_addr, op.addr);
+  stats_.max_addr = std::max(stats_.max_addr, op.addr);
+  stats_.max_gap = std::max(stats_.max_gap, op.gap);
+  // Gaps reach 2^56 per op, so the sum can exceed 64 bits: saturate.
+  const auto gap = static_cast<std::uint64_t>(op.gap);
+  stats_.total_gap = stats_.total_gap > ~gap ? ~std::uint64_t{0}
+                                             : stats_.total_gap + gap;
+  lines_.insert(op.addr >> 6);
+}
+
+TraceStats TraceStatsAccumulator::stats() const {
+  TraceStats out = stats_;
+  out.distinct_lines = static_cast<std::int64_t>(lines_.size());
+  return out;
+}
+
+TraceStats compute_trace_stats(const core::Trace& trace) {
+  TraceStatsAccumulator acc;
+  for (const core::MemOp& op : trace) {
+    acc.add(op);
+  }
+  return acc.stats();
+}
+
+std::vector<CorpusEntry> make_demo_corpus(int accesses) {
+  PSLLC_CONFIG_CHECK(accesses >= 1 && accesses <= 10'000'000,
+                     "demo corpus needs accesses in [1, 1e7], got "
+                         << accesses);
+  std::vector<CorpusEntry> corpus;
+
+  // Hot pointer chase: a 64-line working set walked `accesses` times —
+  // maximally replacement-hostile ordering.
+  corpus.push_back(
+      {"chase_hot", make_pointer_chase_trace(0, 64, accesses, 101)});
+
+  // Cold strided scan: every access a new line, reads only.
+  corpus.push_back({"stride_scan",
+                    make_strided_trace(0, 64, accesses, 1)});
+
+  // Uniform random over 8 KiB with think time between accesses.
+  RandomWorkloadOptions gap_options;
+  gap_options.range_bytes = 8192;
+  gap_options.accesses = accesses;
+  gap_options.write_fraction = 0.25;
+  gap_options.gap = 8;
+  corpus.push_back(
+      {"uniform_gap", make_uniform_random_trace(0, gap_options, 202)});
+
+  // Wide uniform random: 64 KiB footprint, mostly reads, back to back.
+  RandomWorkloadOptions wide_options;
+  wide_options.range_bytes = 65536;
+  wide_options.accesses = accesses;
+  wide_options.write_fraction = 0.1;
+  corpus.push_back(
+      {"uniform_wide", make_uniform_random_trace(0, wide_options, 303)});
+
+  // Entry order is name order, matching load_corpus_dir on the emitted
+  // files.
+  return corpus;
+}
+
+}  // namespace psllc::sim

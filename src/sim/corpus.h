@@ -1,0 +1,124 @@
+// Trace-corpus runner: replays a set of recorded traces (loaded from a
+// directory of .trace/.pslt files or generated as the built-in demo
+// corpus) across a grid of partition configurations, scheduling the
+// (trace x config) cells through sim::run_batch. This is the recorded-
+// workload counterpart of run_sweep, which generates its workloads
+// internally; both take their execution knobs (dram backend, horizon,
+// thread budget) from SweepOptions so benches configure one options
+// struct for either path.
+#ifndef PSLLC_SIM_CORPUS_H_
+#define PSLLC_SIM_CORPUS_H_
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/mem_op.h"
+#include "sim/experiment.h"
+
+namespace psllc::sim {
+
+/// One corpus workload: a name (the file stem for directory corpora) and
+/// the recorded access stream.
+struct CorpusEntry {
+  std::string name;
+  core::Trace trace;
+};
+
+/// How a single-stream corpus entry populates a multi-core system.
+enum class CorpusReplay {
+  /// The trace runs on core 0; the other cores stay idle. Safe for any
+  /// address range, but exercises no inter-core contention.
+  kSolo,
+  /// Every active core replays the trace, with core i's copy shifted into
+  /// its own power-of-two address window (disjoint footprints, like the
+  /// paper's Figure 8 workloads). Requires the shifted addresses to fit
+  /// the 64-bit address space.
+  kMirrored,
+};
+
+/// One (trace, configuration) cell.
+struct CorpusCell {
+  std::string trace_name;
+  SweepConfig config;
+  RunMetrics metrics;
+};
+
+struct CorpusResult {
+  std::vector<std::string> names;  ///< entry order of the run
+  std::vector<SweepConfig> configs;
+  /// cells[e * configs.size() + c]
+  std::vector<CorpusCell> cells;
+
+  [[nodiscard]] const CorpusCell& cell(int entry_index,
+                                       int config_index) const;
+};
+
+/// Runs every entry against every configuration. Uses, from `options`:
+/// `dram` (memory backend per cell), `max_cycles` (horizon) and `threads`
+/// (forwarded into the run_batch budget). The grid is scheduled as one
+/// single-threaded job per (entry, active-core count) — each job owns one
+/// shifted trace set and runs that core count's configs serially — so
+/// even a one-trace corpus parallelizes across the core-count axis. The
+/// workload-generation fields (seed, ranges, accesses) are ignored — the
+/// corpus IS the workload. Results are deterministic and independent of
+/// the thread count. Throws ConfigError on an empty/duplicate-name corpus
+/// or when a cell fails.
+[[nodiscard]] CorpusResult run_corpus(const std::vector<CorpusEntry>& entries,
+                                      const std::vector<SweepConfig>& configs,
+                                      const SweepOptions& options,
+                                      CorpusReplay replay =
+                                          CorpusReplay::kMirrored);
+
+/// Loads every "*.trace" (text) and "*.pslt" (binary) file directly under
+/// `dir` (extensions matched case-insensitively), sorted by file stem; the
+/// stem becomes the entry name. The whole corpus is materialized in RAM —
+/// size corpora to memory accordingly; per-entry streaming (loading each
+/// entry inside its batch job) is the planned next step for corpora that
+/// exceed it. Throws ConfigError when the directory holds no trace files
+/// or two files share a stem, std::runtime_error when `dir` is not a
+/// directory.
+[[nodiscard]] std::vector<CorpusEntry> load_corpus_dir(
+    const std::filesystem::path& dir);
+
+/// The deterministic built-in demo corpus (pointer chase, strided scan,
+/// and two uniform-random mixes), sized by `accesses` per entry. Used by
+/// bench/corpus_runner when no corpus directory is given and emitted as
+/// files by `trace_convert --demo`, so the file pipeline can be checked
+/// against the in-memory workloads bit for bit.
+[[nodiscard]] std::vector<CorpusEntry> make_demo_corpus(int accesses);
+
+/// Op-mix / footprint summary of one trace, shared by the corpus runner's
+/// corpus_traces series and `trace_convert --stats`.
+struct TraceStats {
+  std::int64_t ops = 0;
+  std::int64_t reads = 0;
+  std::int64_t writes = 0;
+  std::int64_t ifetches = 0;
+  Addr min_addr = 0;  ///< 0 when the trace is empty
+  Addr max_addr = 0;
+  Cycle max_gap = 0;
+  std::uint64_t total_gap = 0;  ///< saturates at UINT64_MAX
+  std::int64_t distinct_lines = 0;  ///< 64 B cache lines touched
+};
+
+/// Streaming accumulator behind compute_trace_stats, usable over any op
+/// source — e.g. a trace::MappedTrace decoded record by record, so
+/// inspecting a multi-GiB binary file never materializes a core::Trace.
+class TraceStatsAccumulator {
+ public:
+  void add(const core::MemOp& op);
+  [[nodiscard]] TraceStats stats() const;
+
+ private:
+  TraceStats stats_;
+  std::unordered_set<LineAddr> lines_;
+};
+
+[[nodiscard]] TraceStats compute_trace_stats(const core::Trace& trace);
+
+}  // namespace psllc::sim
+
+#endif  // PSLLC_SIM_CORPUS_H_

@@ -1,18 +1,50 @@
 #include "sim/trace_io.h"
 
+#include <cctype>
+#include <cstdint>
 #include <fstream>
-#include <sstream>
+#include <istream>
+#include <ostream>
 #include <stdexcept>
+#include <string_view>
 
 #include "common/assert.h"
 #include "common/string_util.h"
+#include "trace/binary_io.h"
 
 namespace psllc::sim {
+
+namespace {
+
+/// Pops the next whitespace-delimited token off `line` without
+/// allocating. Delimits on any isspace character, matching the stream
+/// extraction the tokenizer replaced.
+std::string_view next_token(std::string_view& line) {
+  const auto is_space = [](char c) {
+    return std::isspace(static_cast<unsigned char>(c)) != 0;
+  };
+  std::size_t begin = 0;
+  while (begin < line.size() && is_space(line[begin])) {
+    ++begin;
+  }
+  std::size_t end = begin;
+  while (end < line.size() && !is_space(line[end])) {
+    ++end;
+  }
+  const std::string_view token = line.substr(begin, end - begin);
+  line.remove_prefix(end);
+  return token;
+}
+
+}  // namespace
 
 core::Trace read_trace(std::istream& input) {
   core::Trace trace;
   std::string raw;
-  int line_number = 0;
+  // Lines are tokenized as string_views into the getline buffer — no
+  // per-line stream or string allocations — and counted in 64 bits so
+  // multi-GiB corpora keep accurate diagnostics.
+  std::uint64_t line_number = 0;
   while (std::getline(input, raw)) {
     ++line_number;
     std::string_view line = trim(raw);
@@ -22,10 +54,8 @@ core::Trace read_trace(std::istream& input) {
     if (line.empty()) {
       continue;
     }
-    std::istringstream fields{std::string(line)};
-    std::string op;
-    std::string addr_text;
-    fields >> op >> addr_text;
+    const std::string_view op = next_token(line);
+    const std::string_view addr_text = next_token(line);
     PSLLC_CONFIG_CHECK(!op.empty() && !addr_text.empty(),
                        "trace line " << line_number << ": malformed entry");
     core::MemOp entry;
@@ -46,17 +76,16 @@ core::Trace read_trace(std::istream& input) {
                                              << ": bad address '"
                                              << addr_text << "'");
     entry.addr = *addr;
-    std::string gap_text;
-    if (fields >> gap_text) {
+    if (const std::string_view gap_text = next_token(line);
+        !gap_text.empty()) {
       const auto gap = parse_i64(gap_text);
       PSLLC_CONFIG_CHECK(gap.has_value() && *gap >= 0,
                          "trace line " << line_number << ": bad gap '"
                                        << gap_text << "'");
       entry.gap = *gap;
-      std::string extra;
-      PSLLC_CONFIG_CHECK(!(fields >> extra), "trace line "
-                                                 << line_number
-                                                 << ": trailing tokens");
+      PSLLC_CONFIG_CHECK(next_token(line).empty(),
+                         "trace line " << line_number
+                                       << ": trailing tokens");
     }
     trace.push_back(entry);
   }
@@ -64,6 +93,9 @@ core::Trace read_trace(std::istream& input) {
 }
 
 core::Trace read_trace_file(const std::string& path) {
+  if (trace::has_binary_trace_extension(path)) {
+    return trace::read_trace_binary_file(path);
+  }
   std::ifstream input(path);
   if (!input) {
     throw std::runtime_error("cannot open trace file: " + path);
@@ -71,7 +103,22 @@ core::Trace read_trace_file(const std::string& path) {
   return read_trace(input);
 }
 
-void write_trace(std::ostream& output, const core::Trace& trace) {
+namespace {
+
+/// The text grammar cannot express a negative gap (the parser rejects
+/// it). Both writers validate the whole trace BEFORE touching the output:
+/// text files carry no op count, so a partial (or truncated-then-
+/// abandoned) file would later read back as a silently shorter trace.
+void check_text_representable(const core::Trace& trace) {
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    PSLLC_CONFIG_CHECK(trace[i].gap >= 0,
+                       "trace op " << i << ": negative gap " << trace[i].gap
+                                   << " is not representable");
+  }
+}
+
+/// Emits the text lines of a pre-validated trace.
+void emit_trace_text(std::ostream& output, const core::Trace& trace) {
   for (const core::MemOp& op : trace) {
     output << to_string(op.type) << " 0x" << std::hex << op.addr << std::dec;
     if (op.gap != 0) {
@@ -81,12 +128,27 @@ void write_trace(std::ostream& output, const core::Trace& trace) {
   }
 }
 
+}  // namespace
+
+void write_trace(std::ostream& output, const core::Trace& trace) {
+  check_text_representable(trace);
+  emit_trace_text(output, trace);
+}
+
 void write_trace_file(const std::string& path, const core::Trace& trace) {
+  if (trace::has_binary_trace_extension(path)) {
+    trace::write_trace_binary_file(path, trace);
+    return;
+  }
+  // Validate before opening: constructing the ofstream truncates an
+  // existing file, which must not happen for a trace that cannot be
+  // written.
+  check_text_representable(trace);
   std::ofstream output(path);
   if (!output) {
     throw std::runtime_error("cannot open trace file for writing: " + path);
   }
-  write_trace(output, trace);
+  emit_trace_text(output, trace);
   if (!output) {
     throw std::runtime_error("error writing trace file: " + path);
   }

@@ -1,7 +1,12 @@
 // Text trace format, one access per line:
 //   <R|W|I> <address> [gap]
 // where address is decimal or 0x-hex and gap is an optional think time in
-// cycles. '#' starts a comment; blank lines are ignored.
+// cycles. '#' starts a comment; blank lines (and CRLF endings) are ignored.
+//
+// The file-level entry points dispatch on extension: a ".pslt" path is the
+// binary format of src/trace (mmap-backed reads, fixed-width records);
+// anything else is this text format. `tools/trace_convert` converts
+// between the two.
 #ifndef PSLLC_SIM_TRACE_IO_H_
 #define PSLLC_SIM_TRACE_IO_H_
 
@@ -16,11 +21,14 @@ namespace psllc::sim {
 /// number on malformed input.
 [[nodiscard]] core::Trace read_trace(std::istream& input);
 
-/// Loads a trace file. Throws std::runtime_error when unreadable.
+/// Loads a trace file, dispatching on extension (".pslt" = binary, else
+/// text). Throws std::runtime_error when unreadable.
 [[nodiscard]] core::Trace read_trace_file(const std::string& path);
 
-/// Writes the text representation.
+/// Writes the text representation. Throws ConfigError on an op the text
+/// grammar cannot express (negative gap).
 void write_trace(std::ostream& output, const core::Trace& trace);
+/// Writes `path`, dispatching on extension like read_trace_file.
 void write_trace_file(const std::string& path, const core::Trace& trace);
 
 }  // namespace psllc::sim

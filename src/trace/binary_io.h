@@ -1,0 +1,48 @@
+// Streaming writer/reader for the PSLT binary trace format (trace/format.h).
+// The writer is the only producer; the reader here is the std::istream
+// fallback for non-seekable sources — files should go through
+// trace::MappedTrace (used by read_trace_binary_file) for zero-copy access.
+#ifndef PSLLC_TRACE_BINARY_IO_H_
+#define PSLLC_TRACE_BINARY_IO_H_
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "core/mem_op.h"
+
+namespace psllc::trace {
+
+struct BinaryWriteOptions {
+  /// Record address width in bits: 32, 64, or 0 to pick automatically
+  /// (32-bit records when every address fits, else 64-bit).
+  int addr_width_bits = 0;
+};
+
+/// True when `path` names a PSLT file by extension (".pslt").
+[[nodiscard]] bool has_binary_trace_extension(std::string_view path);
+
+/// Smallest supported record width that represents every address of
+/// `trace` (32 or 64).
+[[nodiscard]] int pick_addr_width_bits(const core::Trace& trace);
+
+/// Serializes `trace`. Throws ConfigError when an op is unrepresentable
+/// (negative gap, gap >= 2^56, address wider than a forced 32-bit width).
+void write_trace_binary(std::ostream& output, const core::Trace& trace,
+                        const BinaryWriteOptions& options = {});
+void write_trace_binary_file(const std::string& path,
+                             const core::Trace& trace,
+                             const BinaryWriteOptions& options = {});
+
+/// Streaming decode of a whole PSLT stream. Throws ConfigError on malformed
+/// input (bad magic/version/width, truncated header or records).
+[[nodiscard]] core::Trace read_trace_binary(std::istream& input);
+
+/// File decode: mmap-backed via MappedTrace, falling back to buffered
+/// reads when mapping is unavailable. Throws std::runtime_error when the
+/// file cannot be opened, ConfigError when its contents are malformed.
+[[nodiscard]] core::Trace read_trace_binary_file(const std::string& path);
+
+}  // namespace psllc::trace
+
+#endif  // PSLLC_TRACE_BINARY_IO_H_

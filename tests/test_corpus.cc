@@ -1,0 +1,174 @@
+// Tests for the trace-corpus runner: the built-in demo corpus, directory
+// loading across both trace formats, the run_corpus grid (bounds,
+// determinism across thread counts, replay modes) and its error paths.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/assert.h"
+#include "sim/corpus.h"
+#include "sim/trace_io.h"
+
+namespace psllc::sim {
+namespace {
+
+std::filesystem::path fresh_dir(const std::string& name) {
+  const auto dir = std::filesystem::path(::testing::TempDir()) / name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+void expect_corpora_equal(const std::vector<CorpusEntry>& a,
+                          const std::vector<CorpusEntry>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t e = 0; e < a.size(); ++e) {
+    EXPECT_EQ(a[e].name, b[e].name);
+    ASSERT_EQ(a[e].trace.size(), b[e].trace.size()) << a[e].name;
+    for (std::size_t i = 0; i < a[e].trace.size(); ++i) {
+      EXPECT_EQ(a[e].trace[i].addr, b[e].trace[i].addr)
+          << a[e].name << " op " << i;
+      EXPECT_EQ(a[e].trace[i].type, b[e].trace[i].type)
+          << a[e].name << " op " << i;
+      EXPECT_EQ(a[e].trace[i].gap, b[e].trace[i].gap)
+          << a[e].name << " op " << i;
+    }
+  }
+}
+
+TEST(DemoCorpus, DeterministicSortedAndSized) {
+  const auto a = make_demo_corpus(200);
+  const auto b = make_demo_corpus(200);
+  expect_corpora_equal(a, b);
+  ASSERT_GE(a.size(), 3u);
+  for (std::size_t e = 1; e < a.size(); ++e) {
+    EXPECT_LT(a[e - 1].name, a[e].name) << "corpus must be name-sorted";
+  }
+  for (const CorpusEntry& entry : a) {
+    EXPECT_GE(entry.trace.size(), 200u) << entry.name;
+  }
+  EXPECT_THROW((void)make_demo_corpus(0), ConfigError);
+}
+
+TEST(Corpus, DirLoadReproducesBuiltinAcrossBothFormats) {
+  const auto builtin = make_demo_corpus(50);
+  // Text corpus.
+  const auto text_dir = fresh_dir("psllc_corpus_text");
+  for (const CorpusEntry& entry : builtin) {
+    write_trace_file((text_dir / (entry.name + ".trace")).string(),
+                     entry.trace);
+  }
+  expect_corpora_equal(load_corpus_dir(text_dir), builtin);
+  // Binary corpus.
+  const auto bin_dir = fresh_dir("psllc_corpus_bin");
+  for (const CorpusEntry& entry : builtin) {
+    write_trace_file((bin_dir / (entry.name + ".pslt")).string(),
+                     entry.trace);
+  }
+  expect_corpora_equal(load_corpus_dir(bin_dir), builtin);
+  // Mixed corpus: loader dispatches per file.
+  const auto mixed_dir = fresh_dir("psllc_corpus_mixed");
+  for (std::size_t e = 0; e < builtin.size(); ++e) {
+    const char* ext = e % 2 == 0 ? ".trace" : ".pslt";
+    write_trace_file((mixed_dir / (builtin[e].name + ext)).string(),
+                     builtin[e].trace);
+  }
+  expect_corpora_equal(load_corpus_dir(mixed_dir), builtin);
+}
+
+TEST(Corpus, DirLoadErrorPaths) {
+  EXPECT_THROW((void)load_corpus_dir(fresh_dir("psllc_corpus_empty")),
+               ConfigError);
+  EXPECT_THROW(
+      (void)load_corpus_dir(std::filesystem::path(::testing::TempDir()) /
+                            "psllc_corpus_missing"),
+      std::runtime_error);
+  // Two formats sharing a stem is ambiguous.
+  const auto dup_dir = fresh_dir("psllc_corpus_dup");
+  const core::Trace trace{core::MemOp{0x40, AccessType::kRead, 0}};
+  write_trace_file((dup_dir / "a.trace").string(), trace);
+  write_trace_file((dup_dir / "a.pslt").string(), trace);
+  EXPECT_THROW((void)load_corpus_dir(dup_dir), ConfigError);
+  // Unrelated files are ignored; trace extensions match case-insensitively.
+  const auto noise_dir = fresh_dir("psllc_corpus_noise");
+  write_trace_file((noise_dir / "ok.trace").string(), trace);
+  write_trace_file((noise_dir / "UPPER.TRACE").string(), trace);
+  std::ofstream(noise_dir / "README.md") << "not a trace\n";
+  EXPECT_EQ(load_corpus_dir(noise_dir).size(), 2u);
+}
+
+TEST(Corpus, RunGridHoldsBoundsAndIsThreadCountInvariant) {
+  const auto corpus = make_demo_corpus(80);
+  const std::vector<SweepConfig> configs = {{"SS(32,2,2)", 2},
+                                            {"P(8,2)", 2}};
+  SweepOptions serial;
+  serial.threads = 1;
+  SweepOptions parallel;
+  parallel.threads = 4;
+
+  const CorpusResult a = run_corpus(corpus, configs, serial);
+  const CorpusResult b = run_corpus(corpus, configs, parallel);
+
+  ASSERT_EQ(a.cells.size(), corpus.size() * configs.size());
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    const RunMetrics& ma = a.cells[i].metrics;
+    const RunMetrics& mb = b.cells[i].metrics;
+    EXPECT_EQ(a.cells[i].trace_name, b.cells[i].trace_name) << "cell " << i;
+    EXPECT_TRUE(ma.completed) << "cell " << i;
+    EXPECT_LE(ma.observed_wcl, ma.analytical_wcl) << "cell " << i;
+    EXPECT_GT(ma.llc_requests, 0) << "cell " << i;
+    EXPECT_EQ(ma.makespan, mb.makespan) << "cell " << i;
+    EXPECT_EQ(ma.observed_wcl, mb.observed_wcl) << "cell " << i;
+    EXPECT_EQ(ma.llc_requests, mb.llc_requests) << "cell " << i;
+    EXPECT_EQ(ma.per_core_finish, mb.per_core_finish) << "cell " << i;
+  }
+  // Mirrored replay engages every active core.
+  const RunMetrics& first = a.cell(0, 0).metrics;
+  ASSERT_EQ(first.per_core_finish.size(), 2u);
+  EXPECT_NE(first.per_core_finish[1], kNoCycle);
+}
+
+TEST(Corpus, SoloReplayLeavesOtherCoresIdle) {
+  const std::vector<CorpusEntry> corpus = {
+      {"only", make_demo_corpus(60).front().trace}};
+  const std::vector<SweepConfig> configs = {{"SS(32,2,2)", 2}};
+  SweepOptions options;
+  options.threads = 1;
+  const CorpusResult result =
+      run_corpus(corpus, configs, options, CorpusReplay::kSolo);
+  const RunMetrics& m = result.cell(0, 0).metrics;
+  EXPECT_TRUE(m.completed);
+  EXPECT_LE(m.observed_wcl, m.analytical_wcl);
+  EXPECT_GT(m.llc_requests, 0);
+}
+
+TEST(Corpus, RunRejectsBadInput) {
+  const auto corpus = make_demo_corpus(10);
+  const std::vector<SweepConfig> configs = {{"SS(32,2,2)", 2}};
+  SweepOptions options;
+  options.threads = 1;
+  EXPECT_THROW((void)run_corpus({}, configs, options), ConfigError);
+  EXPECT_THROW((void)run_corpus(corpus, {}, options), ConfigError);
+  std::vector<CorpusEntry> dup = {corpus.front(), corpus.front()};
+  EXPECT_THROW((void)run_corpus(dup, configs, options), ConfigError);
+  // A bad notation fails the cell; run_corpus surfaces it.
+  const std::vector<SweepConfig> bogus = {{"bogus-notation", 2}};
+  EXPECT_THROW((void)run_corpus(corpus, bogus, options), ConfigError);
+}
+
+TEST(Corpus, MirroredReplayRejectsUnshiftableAddresses) {
+  const std::vector<CorpusEntry> corpus = {
+      {"wide", core::Trace{core::MemOp{Addr{1} << 63, AccessType::kRead,
+                                       0}}}};
+  const std::vector<SweepConfig> configs = {{"SS(32,2,2)", 2}};
+  SweepOptions options;
+  options.threads = 1;
+  EXPECT_THROW((void)run_corpus(corpus, configs, options), ConfigError);
+}
+
+}  // namespace
+}  // namespace psllc::sim

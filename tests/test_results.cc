@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 
 #include "common/assert.h"
 #include "results/diff.h"
@@ -98,6 +99,50 @@ TEST(Series, CsvUsesMachineReprAndDnf) {
   series.add_row({Value::of_text("P"), Value::null()});
   EXPECT_EQ(series.to_csv(),
             "config,wcl\n\"SS(1,2,4)\",979250\nP,DNF\n");
+}
+
+TEST(Series, RejectsNonFiniteReals) {
+  // JSON nulls NaN/inf while CSV spells them out, so one run's two
+  // artifacts would disagree and results_diff would compare against the
+  // silently-nulled value. Insertion is the single choke point.
+  const std::vector<Column> columns = {
+      {"config", ColumnType::kText, ColumnKind::kExact, ""},
+      {"speedup", ColumnType::kReal, ColumnKind::kTiming, "ratio"}};
+  for (const double bad :
+       {std::numeric_limits<double>::quiet_NaN(),
+        std::numeric_limits<double>::infinity(),
+        -std::numeric_limits<double>::infinity()}) {
+    Series series("speedup", columns);
+    try {
+      series.add_row({Value::of_text("SS"), Value::of_real(bad)});
+      FAIL() << "non-finite value " << bad << " was accepted";
+    } catch (const ConfigError& e) {
+      // The error must name the series and the offending column.
+      EXPECT_NE(std::string(e.what()).find("speedup"), std::string::npos);
+      EXPECT_EQ(series.num_rows(), 0);
+    }
+  }
+  // Finite reals and DNF nulls still insert.
+  Series ok("speedup", columns);
+  ok.add_row({Value::of_text("SS"), Value::of_real(1.5)});
+  ok.add_row({Value::of_text("NSS"), Value::null()});
+  EXPECT_EQ(ok.num_rows(), 2);
+}
+
+TEST(Series, FromJsonNullsStayAllowedAsDnf) {
+  // from_json funnels through add_row (which rejects non-finite reals —
+  // covered above); JSON itself cannot encode NaN/inf, the writer nulls
+  // them, and a null real cell must keep loading as DNF.
+  Json json = Json::parse(R"({
+    "name": "speedup",
+    "columns": [
+      {"name": "ratio", "type": "real", "kind": "timing", "unit": "ratio"}
+    ],
+    "rows": [[null], [2.5]]
+  })");
+  const Series series = Series::from_json(json);
+  EXPECT_EQ(series.num_rows(), 2);
+  EXPECT_TRUE(series.rows()[0][0].is_null());
 }
 
 TEST(BenchResult, RejectsDuplicateSeries) {

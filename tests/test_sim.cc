@@ -2,10 +2,16 @@
 // sweep harness.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <limits>
 #include <set>
 #include <sstream>
+#include <string>
 
 #include "common/assert.h"
+#include "common/rng.h"
 #include "sim/experiment.h"
 #include "sim/runner.h"
 #include "sim/trace_io.h"
@@ -158,6 +164,127 @@ TEST(TraceIo, RejectsMalformedLines) {
   EXPECT_THROW(read_trace(bad_gap), ConfigError);
   std::istringstream trailing("R 0x100 4 junk\n");
   EXPECT_THROW(read_trace(trailing), ConfigError);
+}
+
+TEST(TraceIo, RandomizedRoundTripProperty) {
+  // write_trace -> read_trace must be the identity for every trace the
+  // text grammar can express: any address (including max-u64), any
+  // non-negative gap, all three access types.
+  for (const std::uint64_t seed : {3ull, 17ull, 4242ull}) {
+    Rng rng(seed);
+    core::Trace trace;
+    const int ops = 200 + static_cast<int>(rng.next_below(200));
+    for (int i = 0; i < ops; ++i) {
+      core::MemOp op;
+      op.addr = rng.next_bool(0.1)
+                    ? std::numeric_limits<Addr>::max() - rng.next_below(4)
+                    : rng.next_u64();
+      const auto type = rng.next_below(3);
+      op.type = type == 0   ? AccessType::kRead
+                : type == 1 ? AccessType::kWrite
+                            : AccessType::kIfetch;
+      op.gap = rng.next_bool(0.5) ? 0 : rng.next_in_range(0, 1 << 20);
+      trace.push_back(op);
+    }
+    std::ostringstream out;
+    write_trace(out, trace);
+    std::istringstream in(out.str());
+    const core::Trace parsed = read_trace(in);
+    ASSERT_EQ(parsed.size(), trace.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      EXPECT_EQ(parsed[i].addr, trace[i].addr) << "seed " << seed;
+      EXPECT_EQ(parsed[i].type, trace[i].type) << "seed " << seed;
+      EXPECT_EQ(parsed[i].gap, trace[i].gap) << "seed " << seed;
+    }
+  }
+}
+
+TEST(TraceIo, WriteRejectsUnrepresentableGap) {
+  // The text grammar has no negative gaps; the writer must refuse instead
+  // of emitting a line the parser will reject — and refuse BEFORE writing
+  // anything, since a partial text file would read back as a silently
+  // shorter trace (no op-count header to catch the truncation).
+  const core::Trace trace{core::MemOp{0x40, AccessType::kRead, 7},
+                          core::MemOp{0x100, AccessType::kRead, -5}};
+  std::ostringstream out;
+  EXPECT_THROW(write_trace(out, trace), ConfigError);
+  EXPECT_TRUE(out.str().empty());
+
+  // The file writer must also validate before opening: truncating an
+  // existing file for a trace that cannot be written would lose data.
+  const auto dir =
+      std::filesystem::path(::testing::TempDir()) / "psllc_trace_noclobber";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "keep.trace").string();
+  const core::Trace good{core::MemOp{0x40, AccessType::kRead, 1}};
+  write_trace_file(path, good);
+  EXPECT_THROW(write_trace_file(path, trace), ConfigError);
+  EXPECT_EQ(read_trace_file(path).size(), good.size());
+}
+
+TEST(TraceIo, ParsesCrlfAndMidLineComments) {
+  std::istringstream in(
+      "R 0x40 3\r\n"
+      "W 0x80 # tail comment after the address\r\n"
+      "\r\n"
+      "i 0xC0 7 # comment after the gap\r\n");
+  const core::Trace trace = read_trace(in);
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace[0].gap, 3);
+  EXPECT_EQ(trace[1].type, AccessType::kWrite);
+  EXPECT_EQ(trace[1].gap, 0);
+  EXPECT_EQ(trace[2].type, AccessType::kIfetch);
+  EXPECT_EQ(trace[2].gap, 7);
+}
+
+TEST(TraceIo, ParsesMaxAddressAndRejectsOverflow) {
+  std::istringstream max_hex("R 0xFFFFFFFFFFFFFFFF\n");
+  EXPECT_EQ(read_trace(max_hex).front().addr,
+            std::numeric_limits<Addr>::max());
+  std::istringstream max_dec("R 18446744073709551615\n");
+  EXPECT_EQ(read_trace(max_dec).front().addr,
+            std::numeric_limits<Addr>::max());
+  // One bit past 64: must be a parse error, not a silent wrap.
+  std::istringstream overflow_hex("R 0x1FFFFFFFFFFFFFFFF\n");
+  EXPECT_THROW((void)read_trace(overflow_hex), ConfigError);
+  std::istringstream overflow_dec("R 18446744073709551616\n");
+  EXPECT_THROW((void)read_trace(overflow_dec), ConfigError);
+}
+
+TEST(TraceIo, EmptyInputsYieldEmptyTraces) {
+  std::istringstream empty("");
+  EXPECT_TRUE(read_trace(empty).empty());
+  std::istringstream comments_only("# header only\n\n   \n# more\n");
+  EXPECT_TRUE(read_trace(comments_only).empty());
+}
+
+TEST(TraceIo, FileDispatchByExtension) {
+  const auto dir =
+      std::filesystem::path(::testing::TempDir()) / "psllc_trace_dispatch";
+  std::filesystem::create_directories(dir);
+  const core::Trace trace{
+      core::MemOp{0x1000, AccessType::kRead, 0},
+      core::MemOp{0x2040, AccessType::kWrite, 12},
+  };
+  const std::string text_path = (dir / "t.trace").string();
+  const std::string binary_path = (dir / "t.pslt").string();
+  write_trace_file(text_path, trace);
+  write_trace_file(binary_path, trace);
+  // The text file starts with a printable op letter, the binary one with
+  // the PSLT magic.
+  std::ifstream binary_in(binary_path, std::ios::binary);
+  char magic[4] = {};
+  binary_in.read(magic, 4);
+  EXPECT_EQ(std::string(magic, 4), "PSLT");
+  for (const std::string& path : {text_path, binary_path}) {
+    const core::Trace loaded = read_trace_file(path);
+    ASSERT_EQ(loaded.size(), trace.size()) << path;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      EXPECT_EQ(loaded[i].addr, trace[i].addr) << path;
+      EXPECT_EQ(loaded[i].type, trace[i].type) << path;
+      EXPECT_EQ(loaded[i].gap, trace[i].gap) << path;
+    }
+  }
 }
 
 // --- runner / sweep -----------------------------------------------------------------

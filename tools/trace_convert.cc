@@ -1,0 +1,245 @@
+// trace_convert — converts traces between the text format (sim/trace_io.h)
+// and the PSLT binary format (src/trace), validates and summarizes trace
+// files, and emits the built-in demo corpus used by bench/corpus_runner.
+//
+//   trace_convert input.trace output.pslt        # text -> binary
+//   trace_convert input.pslt output.trace        # binary -> text
+//   trace_convert --validate input.pslt          # parse, report, exit
+//   trace_convert --stats input.trace            # op mix / footprint
+//   trace_convert --demo DIR --accesses 400      # write demo corpus (text)
+//
+// The format of each file follows its extension (".pslt" = binary, else
+// text) — the same dispatch sim::read_trace_file applies, so every file
+// this tool writes is readable by the rest of the pipeline.
+//
+// Exit codes: 0 = ok, 1 = malformed/unrepresentable trace, 2 = usage or
+// I/O error.
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/string_util.h"
+#include "sim/corpus.h"
+#include "sim/trace_io.h"
+#include "trace/binary_io.h"
+#include "trace/format.h"
+#include "trace/mapped_trace.h"
+
+namespace {
+
+using namespace psllc;  // NOLINT
+
+void print_usage() {
+  std::printf(
+      "usage: trace_convert [options] <input> [output]\n"
+      "  converts between text and PSLT binary traces; each file's format\n"
+      "  follows its extension (%s = binary, anything else = text), the\n"
+      "  same dispatch every reader in the repo applies\n"
+      "  --validate       parse <input> and report before any conversion\n"
+      "  --stats          print op mix, footprint and gap summary\n"
+      "  --addr-width N   binary record address width: 32 or 64 (default:\n"
+      "                   smallest that fits)\n"
+      "  --demo DIR       write the built-in demo corpus as text traces\n"
+      "  --accesses N     demo corpus sizing (default 400, the CI grid)\n",
+      trace::kBinaryTraceExtension);
+}
+
+void print_stats(const std::string& path, const sim::TraceStats& stats) {
+  std::printf("%s:\n", path.c_str());
+  std::printf("  ops            %lld (R %lld / W %lld / I %lld)\n",
+              static_cast<long long>(stats.ops),
+              static_cast<long long>(stats.reads),
+              static_cast<long long>(stats.writes),
+              static_cast<long long>(stats.ifetches));
+  if (stats.ops > 0) {
+    std::printf("  address span   [0x%llx, 0x%llx]\n",
+                static_cast<unsigned long long>(stats.min_addr),
+                static_cast<unsigned long long>(stats.max_addr));
+    std::printf("  distinct lines %lld (%lld KiB footprint at 64 B/line)\n",
+                static_cast<long long>(stats.distinct_lines),
+                static_cast<long long>(stats.distinct_lines * 64 / 1024));
+    std::printf("  gap cycles     total %llu, max %lld\n",
+                static_cast<unsigned long long>(stats.total_gap),
+                static_cast<long long>(stats.max_gap));
+  }
+}
+
+int write_demo_corpus(const std::string& dir, int accesses) {
+  std::filesystem::create_directories(dir);
+  const std::vector<sim::CorpusEntry> corpus =
+      sim::make_demo_corpus(accesses);
+  for (const sim::CorpusEntry& entry : corpus) {
+    const std::string path =
+        (std::filesystem::path(dir) / (entry.name + ".trace")).string();
+    sim::write_trace_file(path, entry.trace);
+    std::printf("wrote %s (%zu ops)\n", path.c_str(), entry.trace.size());
+  }
+  return 0;
+}
+
+int run(int argc, char** argv) {
+  bool validate = false;
+  bool stats = false;
+  int addr_width = 0;
+  std::optional<std::string> demo_dir;
+  int accesses = 400;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    }
+    if (arg == "--validate") {
+      validate = true;
+      continue;
+    }
+    if (arg == "--stats") {
+      stats = true;
+      continue;
+    }
+    if (arg == "--addr-width" || arg == "--accesses") {
+      PSLLC_CONFIG_CHECK(i + 1 < argc, arg << " needs a value");
+      const auto parsed = parse_i64(argv[++i]);
+      PSLLC_CONFIG_CHECK(parsed.has_value(),
+                         arg << ": bad integer '" << argv[i] << "'");
+      if (arg == "--addr-width") {
+        PSLLC_CONFIG_CHECK(*parsed == 32 || *parsed == 64,
+                           "--addr-width must be 32 or 64");
+        addr_width = static_cast<int>(*parsed);
+      } else {
+        PSLLC_CONFIG_CHECK(*parsed >= 1 && *parsed <= 10'000'000,
+                           "--accesses must be in [1, 1e7]");
+        accesses = static_cast<int>(*parsed);
+      }
+      continue;
+    }
+    if (arg == "--demo") {
+      PSLLC_CONFIG_CHECK(i + 1 < argc, "--demo needs a directory");
+      demo_dir = argv[++i];
+      continue;
+    }
+    if (!arg.empty() && arg.front() == '-') {
+      std::fprintf(stderr, "trace_convert: unknown flag '%s' (try --help)\n",
+                   arg.c_str());
+      return 2;
+    }
+    paths.push_back(arg);
+  }
+
+  if (demo_dir.has_value()) {
+    PSLLC_CONFIG_CHECK(paths.empty() && !validate && !stats,
+                       "--demo takes no input/output files");
+    PSLLC_CONFIG_CHECK(addr_width == 0,
+                       "--addr-width does not apply to the (text) demo "
+                       "corpus");
+    return write_demo_corpus(*demo_dir, accesses);
+  }
+  if (paths.empty()) {
+    print_usage();
+    return 2;
+  }
+  PSLLC_CONFIG_CHECK(paths.size() <= 2, "too many positional arguments");
+
+  const std::string& input = paths.front();
+  const bool input_binary = trace::has_binary_trace_extension(input);
+
+  // Inspect-only runs on a binary input go through the mmap view: every
+  // record is decoded (and so validated) in place without ever
+  // materializing the trace on the heap.
+  if (paths.size() == 1 && input_binary) {
+    PSLLC_CONFIG_CHECK(validate || stats,
+                       "nothing to do: give an output path, --validate or "
+                       "--stats");
+    PSLLC_CONFIG_CHECK(addr_width == 0,
+                       "--addr-width needs a "
+                           << trace::kBinaryTraceExtension
+                           << " output path");
+    try {
+      const trace::MappedTrace mapped(input);
+      sim::TraceStatsAccumulator acc;
+      for (std::uint64_t i = 0; i < mapped.size(); ++i) {
+        acc.add(mapped[i]);
+      }
+      if (validate) {
+        std::printf("%s: ok (%llu ops, binary format)\n", input.c_str(),
+                    static_cast<unsigned long long>(mapped.size()));
+      }
+      if (stats) {
+        print_stats(input, acc.stats());
+      }
+    } catch (const ConfigError& e) {
+      std::fprintf(stderr, "trace_convert: %s: %s\n", input.c_str(),
+                   e.what());
+      return 1;
+    }
+    return 0;
+  }
+
+  core::Trace trace;
+  try {
+    trace = sim::read_trace_file(input);
+  } catch (const ConfigError& e) {
+    std::fprintf(stderr, "trace_convert: %s: %s\n", input.c_str(), e.what());
+    return 1;
+  }
+  if (validate) {
+    std::printf("%s: ok (%zu ops, %s format)\n", input.c_str(), trace.size(),
+                input_binary ? "binary" : "text");
+  }
+  if (stats) {
+    print_stats(input, sim::compute_trace_stats(trace));
+  }
+  if (paths.size() == 2) {
+    const std::string& output = paths.back();
+    const bool binary = trace::has_binary_trace_extension(output);
+    PSLLC_CONFIG_CHECK(addr_width == 0 || binary,
+                       "--addr-width only applies to "
+                           << trace::kBinaryTraceExtension
+                           << " outputs, but the output is '" << output
+                           << "'");
+    try {
+      if (binary) {
+        trace::BinaryWriteOptions options;
+        options.addr_width_bits = addr_width;
+        trace::write_trace_binary_file(output, trace, options);
+      } else {
+        sim::write_trace_file(output, trace);
+      }
+    } catch (const ConfigError& e) {
+      // Unrepresentable op for the target format (gap >= 2^56, forced
+      // 32-bit width on wide addresses): a data problem, exit 1 like a
+      // malformed input, not a usage/I-O error.
+      std::fprintf(stderr, "trace_convert: %s: %s\n", output.c_str(),
+                   e.what());
+      return 1;
+    }
+    std::printf("%s -> %s (%zu ops, %s)\n", input.c_str(), output.c_str(),
+                trace.size(), binary ? "binary" : "text");
+  } else {
+    PSLLC_CONFIG_CHECK(validate || stats,
+                       "nothing to do: give an output path, --validate or "
+                       "--stats");
+    PSLLC_CONFIG_CHECK(addr_width == 0,
+                       "--addr-width needs a "
+                           << trace::kBinaryTraceExtension
+                           << " output path");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "trace_convert: %s\n", e.what());
+    return 2;
+  }
+}
