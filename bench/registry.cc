@@ -39,6 +39,9 @@ results::RunMeta BenchContext::make_meta(std::string bench,
   meta.reference = std::move(reference);
   meta.set_param("profile", to_string(profile));
   meta.set_param("commit", results::current_commit_id());
+  for (const auto& [key, value] : provenance) {
+    meta.set_param(key, value);
+  }
   return meta;
 }
 
@@ -73,8 +76,8 @@ std::vector<BenchInfo>& mutable_registry() {
 
 }  // namespace
 
-void register_bench(const char* name, BenchFn fn) {
-  mutable_registry().push_back(BenchInfo{name, fn});
+void register_bench(const char* name, BenchFn fn, bool shardable) {
+  mutable_registry().push_back(BenchInfo{name, fn, shardable});
 }
 
 std::vector<BenchInfo> registered_benches() {
@@ -134,6 +137,25 @@ int parse_common_flag(int argc, char** argv, int i, BenchContext& ctx) {
     ctx.write_csv = false;
     return 1;
   }
+  if (arg == "--shard-index") {
+    ctx.shard_index = parse_positive_int(
+        flag_value(argc, argv, i, "--shard-index"), "--shard-index");
+    if (ctx.shard_count == 0) {
+      ctx.shard_count = 1;  // sharded mode even before --shard-count parses
+    }
+    return 2;
+  }
+  if (arg == "--shard-count") {
+    ctx.shard_count = parse_positive_int(
+        flag_value(argc, argv, i, "--shard-count"), "--shard-count");
+    PSLLC_CONFIG_CHECK(ctx.shard_count >= 1,
+                       "--shard-count needs an integer >= 1");
+    return 2;
+  }
+  if (arg == "--manifest") {
+    ctx.manifest_path = flag_value(argc, argv, i, "--manifest");
+    return 2;
+  }
   return 0;
 }
 
@@ -141,7 +163,10 @@ const char* common_flags_help() {
   return "  --threads N        sweep worker threads (0 = hardware concurrency)\n"
          "  --profile P        workload profile: full (paper grid) or quick (CI grid)\n"
          "  --results-dir DIR  result-store root (default: $PSLLC_RESULTS_DIR or ./bench_results)\n"
-         "  --no-csv           write only result.json, no per-series CSVs\n";
+         "  --no-csv           write only result.json, no per-series CSVs\n"
+         "  --shard-index I    run only work units of shard I (with --shard-count)\n"
+         "  --shard-count N    shard the grid into N partial stores (merge with results_merge)\n"
+         "  --manifest FILE    write (or verify) the shard manifest at FILE\n";
 }
 
 int bench_single_main(int argc, char** argv) {
@@ -166,6 +191,16 @@ int bench_single_main(int argc, char** argv) {
         return 2;
       }
       i += consumed;
+    }
+    if (ctx.sharded()) {
+      PSLLC_CONFIG_CHECK(bench.shardable,
+                         "bench '" << bench.name
+                                   << "' does not support --shard-count; "
+                                      "shard whole benches via run_all");
+      PSLLC_CONFIG_CHECK(ctx.shard_index < ctx.shard_count,
+                         "--shard-index " << ctx.shard_index
+                                          << " out of range [0, "
+                                          << ctx.shard_count << ")");
     }
     return bench.fn(ctx);
   } catch (const std::exception& e) {

@@ -8,6 +8,7 @@
 
 #include <filesystem>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "results/result_store.h"
@@ -31,7 +32,20 @@ struct BenchContext {
   /// --results-dir / PSLLC_RESULTS_DIR / ./bench_results.
   std::filesystem::path results_root = results::resolve_results_root();
   bool write_csv = true;
+  /// Cross-process sharding (--shard-index/--shard-count): shard_count 0
+  /// means an unsharded run. Benches registered shardable read these,
+  /// execute only the work units of their shard and emit a partial result
+  /// store (see src/sim/shard.h, src/results/merge.h).
+  int shard_index = 0;
+  int shard_count = 0;
+  /// Optional --manifest path: the shard plan is written there (or
+  /// verified against an existing manifest) by the sharding driver.
+  std::filesystem::path manifest_path;
+  /// Extra RunMeta params appended by make_meta right after the standard
+  /// ones — run_all's shard mode injects shard.* provenance here.
+  std::vector<std::pair<std::string, std::string>> provenance;
 
+  [[nodiscard]] bool sharded() const { return shard_count > 0; }
   [[nodiscard]] bool quick() const { return profile == Profile::kQuick; }
   /// Profile-dependent workload sizing, e.g. ctx.pick(20000, 4000).
   template <typename T>
@@ -57,18 +71,23 @@ using BenchFn = int (*)(BenchContext&);
 struct BenchInfo {
   const char* name;
   BenchFn fn;
+  /// True when the bench implements cell-level sharding (reads
+  /// BenchContext::shard_* and emits a partial store). bench_single_main
+  /// rejects --shard-count on benches that do not.
+  bool shardable = false;
 };
 
-void register_bench(const char* name, BenchFn fn);
+void register_bench(const char* name, BenchFn fn, bool shardable = false);
 /// All registered benches, sorted by name (registration order depends on
 /// link order, which must not leak into run_all scheduling).
 [[nodiscard]] std::vector<BenchInfo> registered_benches();
 [[nodiscard]] const BenchInfo* find_bench(const std::string& name);
 
 /// Parses the common flags (--threads N, --profile full|quick,
-/// --results-dir PATH, --no-csv) at argv[i]. Returns the number of argv
-/// slots consumed, 0 when argv[i] is not a common flag. Throws ConfigError
-/// on a malformed value.
+/// --results-dir PATH, --no-csv, --shard-index N, --shard-count N,
+/// --manifest PATH) at argv[i]. Returns the number of argv slots
+/// consumed, 0 when argv[i] is not a common flag. Throws ConfigError on a
+/// malformed value.
 int parse_common_flag(int argc, char** argv, int i, BenchContext& ctx);
 
 /// Usage text for the common flags (one indented line per flag).
@@ -86,6 +105,13 @@ int bench_single_main(int argc, char** argv);
   namespace {                                                  \
   const bool psllc_bench_registered_##bench_name =             \
       (::psllc::bench::register_bench(#bench_name, fn), true); \
+  }
+
+/// As PSLLC_REGISTER_BENCH, for benches implementing cell-level sharding.
+#define PSLLC_REGISTER_BENCH_SHARDED(bench_name, fn)                 \
+  namespace {                                                        \
+  const bool psllc_bench_registered_##bench_name =                   \
+      (::psllc::bench::register_bench(#bench_name, fn, true), true); \
   }
 
 #endif  // PSLLC_BENCH_REGISTRY_H_

@@ -4,15 +4,25 @@
 // thread budget, with per-job progress and fail-fast error aggregation.
 // Artifacts land in the result store exactly as when each bench binary is
 // run individually (run_sweep output is thread-count independent).
+//
+// With --shard-index/--shard-count the selected benches are enumerated as
+// whole-bench work units (sim/shard.h): each shard executes only its
+// benches into its own --results-dir, tagged with shard.* provenance, and
+// tools/results_merge joins the partial stores into one artifact
+// bit-identical to an unsharded run. --manifest writes (or verifies) the
+// shard manifest; --plan-only stops after that.
 #include <cstdio>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/registry.h"
 #include "common/assert.h"
 #include "common/string_util.h"
+#include "results/merge.h"
 #include "sim/batch.h"
+#include "sim/shard.h"
 
 namespace {
 
@@ -25,6 +35,7 @@ void print_usage() {
       "  --jobs N           benches running at once (default 1; >1 interleaves output)\n"
       "  --only A,B,...     run only the named benches\n"
       "  --keep-going       do not stop scheduling after the first failure\n"
+      "  --plan-only        write the shard manifest (--manifest) and exit\n"
       "  --list             list registered benches and exit\n",
       bench::common_flags_help());
 }
@@ -34,6 +45,7 @@ int run(int argc, char** argv) {
   sim::BatchOptions batch;
   std::vector<std::string> only;
   bool list_only = false;
+  bool plan_only = false;
 
   for (int i = 1; i < argc;) {
     const std::string arg = argv[i];
@@ -63,6 +75,11 @@ int run(int argc, char** argv) {
     }
     if (arg == "--keep-going") {
       batch.fail_fast = false;
+      ++i;
+      continue;
+    }
+    if (arg == "--plan-only") {
+      plan_only = true;
       ++i;
       continue;
     }
@@ -105,6 +122,58 @@ int run(int argc, char** argv) {
     return 0;
   }
 
+  // Whole-bench work units in registry (= execution) order. The plan is
+  // deterministic, so every shard of a run recomputes the identical
+  // manifest from the same flags.
+  sim::ShardPlan plan(
+      "run_all", {{"profile", bench::to_string(base.profile)}},
+      base.sharded() ? base.shard_count : 1);
+  std::vector<std::size_t> unit_of_bench;
+  for (const bench::BenchInfo& info : selected) {
+    unit_of_bench.push_back(plan.add_unit(info.name, ""));
+  }
+
+  if (base.sharded() || plan_only) {
+    if (!base.manifest_path.empty()) {
+      plan.write_or_verify(base.manifest_path);
+      std::printf("[shard] manifest %s (%zu units, hash %s)\n",
+                  base.manifest_path.string().c_str(), plan.units().size(),
+                  plan.content_hash().c_str());
+    } else {
+      PSLLC_CONFIG_CHECK(!plan_only,
+                         "--plan-only needs --manifest FILE to write to");
+    }
+  }
+  if (plan_only) {
+    return 0;
+  }
+
+  if (base.sharded()) {
+    const sim::ShardSpec spec{base.shard_index, base.shard_count};
+    const std::vector<std::size_t> owned = plan.owned_ordinals(spec);
+    std::vector<bench::BenchInfo> owned_benches;
+    for (const std::size_t ordinal : owned) {
+      owned_benches.push_back(selected[ordinal]);
+    }
+    std::printf("[shard] %d/%d: %zu of %zu benches\n", base.shard_index,
+                base.shard_count, owned_benches.size(), selected.size());
+    if (owned_benches.empty()) {
+      std::printf("[shard] nothing to run on this shard\n");
+      return 0;
+    }
+    // Every bench this shard runs carries the provenance results_merge
+    // validates coverage with; the unit id is per bench.
+    base.provenance = {
+        {std::string(results::kShardManifestParam), plan.content_hash()},
+        {std::string(results::kShardIndexParam),
+         std::to_string(base.shard_index)},
+        {std::string(results::kShardCountParam),
+         std::to_string(base.shard_count)}};
+    std::vector<std::size_t> owned_units = owned;
+    selected = std::move(owned_benches);
+    unit_of_bench = std::move(owned_units);
+  }
+
   // The batch budget doubles as the per-sweep budget: with the default
   // --jobs 1 every bench gets the full pool, exactly like running the
   // binaries one after another.
@@ -116,12 +185,24 @@ int run(int argc, char** argv) {
 
   std::vector<sim::BatchJob> jobs;
   jobs.reserve(selected.size());
-  for (const bench::BenchInfo& info : selected) {
+  for (std::size_t b = 0; b < selected.size(); ++b) {
+    const bench::BenchInfo& info = selected[b];
+    const std::string unit_id =
+        plan.units()[unit_of_bench[b]].id;
     sim::BatchJob job;
     job.name = info.name;
-    job.run = [info, &base](int threads_granted) {
+    job.run = [info, unit_id, &base](int threads_granted) {
       bench::BenchContext ctx = base;
       ctx.threads = threads_granted;
+      // run_all shards at bench granularity: a bench it runs is one whole
+      // work unit and must not additionally cell-shard itself.
+      ctx.shard_index = 0;
+      ctx.shard_count = 0;
+      ctx.manifest_path.clear();
+      if (base.sharded()) {
+        ctx.provenance.emplace_back(
+            std::string(results::kShardUnitsParam), unit_id);
+      }
       const int rc = info.fn(ctx);
       if (rc != 0) {
         throw std::runtime_error("exited with code " + std::to_string(rc) +

@@ -1,0 +1,126 @@
+# End-to-end smoke of the cross-process sharding protocol, run via
+#   cmake -DRUN_ALL_BIN=... -DRESULTS_MERGE_BIN=... \
+#         -DUNSHARDED_DIR=... -DWORK_DIR=... -P shard_smoke.cmake
+#
+# For N in {1, 2, 3, 7}: runs the quick-profile grid as N run_all shards
+# (each into its own partial store, all sharing one manifest), merges the
+# partials with results_merge, and byte-compares every file (result.json
+# and per-series CSVs) of the merged store against UNSHARDED_DIR — the
+# store the smoke_run_all fixture produced with a plain unsharded run. A
+# single differing byte fails. Finally checks the refusal paths: merging
+# with a partial store repeated (duplicate work units) or omitted (missing
+# work units) must exit nonzero and name a unit id.
+
+foreach(var RUN_ALL_BIN RESULTS_MERGE_BIN UNSHARDED_DIR WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "shard_smoke.cmake needs -D${var}=...")
+  endif()
+endforeach()
+
+if(NOT IS_DIRECTORY "${UNSHARDED_DIR}")
+  message(FATAL_ERROR
+          "unsharded baseline ${UNSHARDED_DIR} missing (run smoke_run_all "
+          "first; CTest orders this via the run_all_results fixture)")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+file(GLOB_RECURSE expected_files RELATIVE "${UNSHARDED_DIR}"
+     "${UNSHARDED_DIR}/*")
+list(SORT expected_files)
+list(LENGTH expected_files n_expected)
+if(n_expected EQUAL 0)
+  message(FATAL_ERROR "unsharded baseline ${UNSHARDED_DIR} is empty")
+endif()
+
+foreach(shard_count 1 2 3 7)
+  set(n_dir "${WORK_DIR}/n${shard_count}")
+  set(manifest "${n_dir}/manifest.json")
+  set(partial_dirs "")
+  math(EXPR last_shard "${shard_count} - 1")
+  foreach(shard_index RANGE ${last_shard})
+    set(partial "${n_dir}/shard_${shard_index}")
+    execute_process(
+      COMMAND "${RUN_ALL_BIN}" --profile quick --threads 2
+              --shard-count ${shard_count} --shard-index ${shard_index}
+              --manifest "${manifest}" --results-dir "${partial}"
+      OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+      message(FATAL_ERROR
+              "run_all shard ${shard_index}/${shard_count} exited with "
+              "${rc}\n${out}\n${err}")
+    endif()
+    if(IS_DIRECTORY "${partial}")
+      list(APPEND partial_dirs "${partial}")
+    endif()
+  endforeach()
+
+  set(merged "${n_dir}/merged")
+  execute_process(
+    COMMAND "${RESULTS_MERGE_BIN}" --manifest "${manifest}"
+            --out "${merged}" ${partial_dirs}
+    OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "results_merge (${shard_count} shards) exited with "
+            "${rc}\n${out}\n${err}")
+  endif()
+
+  # Bit-identical both ways: same file set, same bytes per file.
+  file(GLOB_RECURSE merged_files RELATIVE "${merged}" "${merged}/*")
+  list(SORT merged_files)
+  if(NOT merged_files STREQUAL expected_files)
+    message(FATAL_ERROR
+            "merged store (${shard_count} shards) file set differs from "
+            "the unsharded run:\nmerged:   ${merged_files}\n"
+            "unsharded: ${expected_files}")
+  endif()
+  foreach(rel_file IN LISTS expected_files)
+    execute_process(
+      COMMAND "${CMAKE_COMMAND}" -E compare_files
+              "${UNSHARDED_DIR}/${rel_file}" "${merged}/${rel_file}"
+      RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+      message(FATAL_ERROR
+              "merged store (${shard_count} shards) differs from the "
+              "unsharded run at ${rel_file}")
+    endif()
+  endforeach()
+  message(STATUS
+          "shard smoke: ${shard_count} shard(s) merged bit-identical "
+          "(${n_expected} files)")
+endforeach()
+
+# Refusal: a partial store passed twice claims every one of its work units
+# twice -> nonzero exit naming a duplicate unit.
+execute_process(
+  COMMAND "${RESULTS_MERGE_BIN}" --manifest "${WORK_DIR}/n3/manifest.json"
+          --out "${WORK_DIR}/dup_merged"
+          "${WORK_DIR}/n3/shard_0" "${WORK_DIR}/n3/shard_0"
+          "${WORK_DIR}/n3/shard_1" "${WORK_DIR}/n3/shard_2"
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "results_merge accepted duplicate work units")
+endif()
+if(NOT err MATCHES "duplicate work unit")
+  message(FATAL_ERROR
+          "duplicate-unit refusal did not name the unit:\n${err}")
+endif()
+
+# Refusal: omitting a shard leaves its work units uncovered -> nonzero
+# exit naming a missing unit.
+execute_process(
+  COMMAND "${RESULTS_MERGE_BIN}" --manifest "${WORK_DIR}/n3/manifest.json"
+          --out "${WORK_DIR}/missing_merged"
+          "${WORK_DIR}/n3/shard_0" "${WORK_DIR}/n3/shard_2"
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "results_merge accepted a missing shard")
+endif()
+if(NOT err MATCHES "missing work unit")
+  message(FATAL_ERROR
+          "missing-unit refusal did not name the unit:\n${err}")
+endif()
+
+message(STATUS "shard smoke: duplicate/missing-unit refusals verified")

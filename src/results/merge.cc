@@ -1,0 +1,377 @@
+#include "results/merge.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/string_util.h"
+
+namespace psllc::results {
+
+bool is_shard_param(std::string_view name) {
+  return starts_with(name, kShardParamPrefix);
+}
+
+void set_shard_provenance(RunMeta& meta, const std::string& manifest_hash,
+                          int shard_index, int shard_count,
+                          const std::vector<std::string>& unit_ids) {
+  std::string joined;
+  for (const std::string& id : unit_ids) {
+    if (!joined.empty()) {
+      joined.push_back(',');
+    }
+    joined += id;
+  }
+  meta.set_param(std::string(kShardManifestParam), manifest_hash);
+  meta.set_param(std::string(kShardIndexParam), std::to_string(shard_index));
+  meta.set_param(std::string(kShardCountParam), std::to_string(shard_count));
+  meta.set_param(std::string(kShardUnitsParam), joined);
+}
+
+void set_shard_rows(RunMeta& meta, const std::string& series,
+                    const std::vector<std::size_t>& ordinals) {
+  std::string joined;
+  for (const std::size_t ordinal : ordinals) {
+    if (!joined.empty()) {
+      joined.push_back(',');
+    }
+    joined += std::to_string(ordinal);
+  }
+  meta.set_param(std::string(kShardRowsPrefix) + series, joined);
+}
+
+BenchResult strip_shard_provenance(const BenchResult& partial) {
+  RunMeta meta;
+  meta.bench = partial.meta().bench;
+  meta.title = partial.meta().title;
+  meta.reference = partial.meta().reference;
+  for (const auto& [key, value] : partial.meta().params) {
+    if (!is_shard_param(key)) {
+      meta.params.emplace_back(key, value);
+    }
+  }
+  BenchResult merged(std::move(meta));
+  for (const Claim& claim : partial.claims()) {
+    merged.add_claim(claim.name, claim.pass);
+  }
+  for (const Series& series : partial.series()) {
+    merged.add_series(series);
+  }
+  return merged;
+}
+
+namespace {
+
+std::string where(const PartialBench& partial) {
+  return partial.dir.string();
+}
+
+/// IDs from a comma-joined shard.units param (empty entries dropped).
+std::vector<std::string> parse_unit_ids(const std::string& joined) {
+  std::vector<std::string> ids;
+  for (const std::string& id : split(joined, ',')) {
+    if (!id.empty()) {
+      ids.push_back(id);
+    }
+  }
+  return ids;
+}
+
+/// Ordinals from a shard.rows.* param; throws MergeError on junk.
+std::vector<std::size_t> parse_ordinals(const std::string& joined,
+                                        const std::string& context) {
+  std::vector<std::size_t> ordinals;
+  for (const std::string& field : split(joined, ',')) {
+    if (field.empty()) {
+      continue;
+    }
+    const auto parsed = parse_i64(field);
+    if (!parsed.has_value() || *parsed < 0) {
+      throw MergeError(context + ": bad row ordinal '" + field + "'");
+    }
+    ordinals.push_back(static_cast<std::size_t>(*parsed));
+  }
+  return ordinals;
+}
+
+bool is_row_sharded(const BenchResult& result) {
+  for (const auto& [key, value] : result.meta().params) {
+    if (starts_with(key, kShardRowsPrefix)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::pair<std::string, std::string>> stripped_params(
+    const RunMeta& meta) {
+  std::vector<std::pair<std::string, std::string>> params;
+  for (const auto& [key, value] : meta.params) {
+    if (!is_shard_param(key)) {
+      params.emplace_back(key, value);
+    }
+  }
+  return params;
+}
+
+/// Non-shard meta (bench/title/reference/params) must agree across the
+/// partials of one bench — they all describe the same full grid.
+void check_meta_consistent(const PartialBench& a, const PartialBench& b) {
+  const RunMeta& ma = a.result.meta();
+  const RunMeta& mb = b.result.meta();
+  const bool equal = ma.bench == mb.bench && ma.title == mb.title &&
+                     ma.reference == mb.reference &&
+                     stripped_params(ma) == stripped_params(mb);
+  if (!equal) {
+    throw MergeError("bench '" + a.result.meta().bench +
+                     "': partials " + where(a) + " and " + where(b) +
+                     " describe different grids (metadata disagrees)");
+  }
+}
+
+BenchResult merge_row_sharded(const std::string& bench,
+                              const std::vector<const PartialBench*>& parts) {
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    check_meta_consistent(*parts[0], *parts[i]);
+  }
+
+  // Claims: identical name lists, pass = AND over the shards (each shard
+  // evaluates its claims over its own cells, and every bench-level claim
+  // is a conjunction over cells, so the AND reproduces the unsharded
+  // value).
+  const std::vector<Claim>& first_claims = parts[0]->result.claims();
+  std::vector<Claim> claims = first_claims;
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    const std::vector<Claim>& other = parts[i]->result.claims();
+    if (other.size() != claims.size()) {
+      throw MergeError("bench '" + bench +
+                       "': partials disagree on the claim list");
+    }
+    for (std::size_t c = 0; c < claims.size(); ++c) {
+      if (other[c].name != claims[c].name) {
+        throw MergeError("bench '" + bench +
+                         "': partials disagree on claim '" +
+                         claims[c].name + "'");
+      }
+      claims[c].pass = claims[c].pass && other[c].pass;
+    }
+  }
+
+  BenchResult merged(strip_shard_provenance(parts[0]->result).meta());
+  for (const Claim& claim : claims) {
+    merged.add_claim(claim.name, claim.pass);
+  }
+
+  // Series: every partial carries the full schema (possibly with zero
+  // rows); rows are reassembled by their global ordinals. A row present in
+  // several partials (e.g. a per-trace stats row whose cells span shards)
+  // must be identical everywhere.
+  const std::size_t num_series = parts[0]->result.series().size();
+  for (const PartialBench* part : parts) {
+    if (part->result.series().size() != num_series) {
+      throw MergeError("bench '" + bench +
+                       "': partials disagree on the series list");
+    }
+  }
+  for (std::size_t s = 0; s < num_series; ++s) {
+    const Series& shape = parts[0]->result.series()[s];
+    std::map<std::size_t, std::vector<Value>> rows;
+    for (const PartialBench* part : parts) {
+      const Series& series = part->result.series()[s];
+      if (series.name() != shape.name() ||
+          series.columns() != shape.columns()) {
+        throw MergeError("bench '" + bench + "': series '" + shape.name() +
+                         "' has a different schema in " + where(*part));
+      }
+      const std::string* joined = part->result.meta().find_param(
+          std::string(kShardRowsPrefix) + series.name());
+      if (joined == nullptr) {
+        throw MergeError("bench '" + bench + "': partial " + where(*part) +
+                         " has no shard.rows." + series.name() + " param");
+      }
+      const std::vector<std::size_t> ordinals = parse_ordinals(
+          *joined, "bench '" + bench + "' series '" + series.name() + "'");
+      if (ordinals.size() != series.rows().size()) {
+        throw MergeError("bench '" + bench + "': partial " + where(*part) +
+                         " tags " + std::to_string(ordinals.size()) +
+                         " ordinals for series '" + series.name() +
+                         "' holding " +
+                         std::to_string(series.rows().size()) + " rows");
+      }
+      for (std::size_t r = 0; r < ordinals.size(); ++r) {
+        const auto [it, inserted] =
+            rows.emplace(ordinals[r], series.rows()[r]);
+        if (!inserted && it->second != series.rows()[r]) {
+          throw MergeError("bench '" + bench + "': series '" +
+                           series.name() + "' row ordinal " +
+                           std::to_string(ordinals[r]) +
+                           " disagrees between partials");
+        }
+      }
+    }
+    Series out(shape.name(), shape.columns());
+    std::size_t expected = 0;
+    for (const auto& [ordinal, row] : rows) {
+      if (ordinal != expected) {
+        throw MergeError("bench '" + bench + "': series '" + shape.name() +
+                         "' is missing row ordinal " +
+                         std::to_string(expected));
+      }
+      out.add_row(row);
+      ++expected;
+    }
+    merged.add_series(std::move(out));
+  }
+  return merged;
+}
+
+}  // namespace
+
+std::vector<PartialBench> load_partial_stores(
+    const std::vector<std::filesystem::path>& roots) {
+  std::vector<PartialBench> partials;
+  for (const std::filesystem::path& root : roots) {
+    if (!std::filesystem::is_directory(root)) {
+      throw MergeError("partial store " + root.string() +
+                       " is not a directory");
+    }
+    std::vector<std::filesystem::path> dirs;
+    for (const auto& entry : std::filesystem::directory_iterator(root)) {
+      if (entry.is_directory() &&
+          std::filesystem::exists(entry.path() / "result.json")) {
+        dirs.push_back(entry.path());
+      }
+    }
+    // Directory iteration order is platform-defined; sort so errors and
+    // merge order are stable.
+    std::sort(dirs.begin(), dirs.end());
+    for (const std::filesystem::path& dir : dirs) {
+      partials.push_back({dir, BenchResult::load(dir)});
+    }
+  }
+  if (partials.empty()) {
+    throw MergeError("no <bench>/result.json found under the partial roots");
+  }
+  return partials;
+}
+
+std::vector<BenchResult> merge_partial_results(
+    const std::vector<MergeUnit>& expected_units,
+    const std::string& manifest_hash,
+    const std::vector<PartialBench>& partials) {
+  std::map<std::string, const MergeUnit*> by_id;
+  for (const MergeUnit& unit : expected_units) {
+    by_id.emplace(unit.id, &unit);
+  }
+
+  // Unit coverage: every manifest unit claimed by exactly one partial,
+  // nothing claimed that the manifest does not know.
+  std::map<std::string, const PartialBench*> claimed;
+  for (const PartialBench& partial : partials) {
+    const RunMeta& meta = partial.result.meta();
+    const std::string* hash =
+        meta.find_param(std::string(kShardManifestParam));
+    const std::string* units =
+        meta.find_param(std::string(kShardUnitsParam));
+    if (hash == nullptr || units == nullptr) {
+      throw MergeError(where(partial) +
+                       ": no shard provenance in result.json (not a "
+                       "partial store?)");
+    }
+    if (*hash != manifest_hash) {
+      throw MergeError(where(partial) +
+                       ": produced under manifest " + *hash +
+                       ", merging under " + manifest_hash);
+    }
+    for (const std::string& id : parse_unit_ids(*units)) {
+      const auto unit_it = by_id.find(id);
+      if (unit_it == by_id.end()) {
+        throw MergeError(where(partial) + ": work unit " + id +
+                         " is not in the manifest");
+      }
+      if (unit_it->second->bench != meta.bench) {
+        throw MergeError(where(partial) + ": work unit " + id + " (" +
+                         unit_it->second->label + ") belongs to bench '" +
+                         unit_it->second->bench + "', not '" + meta.bench +
+                         "'");
+      }
+      const auto [it, inserted] = claimed.emplace(id, &partial);
+      if (!inserted) {
+        throw MergeError("duplicate work unit " + id + " (" +
+                         unit_it->second->label + "): produced by both " +
+                         where(*it->second) + " and " + where(partial));
+      }
+    }
+  }
+  for (const MergeUnit& unit : expected_units) {
+    if (claimed.find(unit.id) == claimed.end()) {
+      throw MergeError("missing work unit " + unit.id + " (" + unit.label +
+                       "): no partial store covers it");
+    }
+  }
+
+  // Group the partials per bench, ordered by first appearance in the
+  // manifest so the merged output is deterministic.
+  std::vector<std::string> bench_order;
+  for (const MergeUnit& unit : expected_units) {
+    if (std::find(bench_order.begin(), bench_order.end(), unit.bench) ==
+        bench_order.end()) {
+      bench_order.push_back(unit.bench);
+    }
+  }
+
+  std::vector<BenchResult> merged;
+  for (const std::string& bench : bench_order) {
+    std::vector<const PartialBench*> parts;
+    for (const PartialBench& partial : partials) {
+      if (partial.result.meta().bench == bench) {
+        parts.push_back(&partial);
+      }
+    }
+    // Unit coverage guarantees every bench of the manifest appears.
+    if (parts.empty()) {
+      throw MergeError("bench '" + bench +
+                       "' has units in the manifest but no partial "
+                       "result (provenance inconsistent)");
+    }
+    bool any_rows = false;
+    bool all_rows = true;
+    for (const PartialBench* part : parts) {
+      const bool row_sharded = is_row_sharded(part->result);
+      any_rows = any_rows || row_sharded;
+      all_rows = all_rows && row_sharded;
+    }
+    if (!any_rows) {
+      // Whole-bench unit: the coverage check already enforced that only
+      // one partial claims it.
+      if (parts.size() != 1) {
+        throw MergeError("bench '" + bench + "' appears in " +
+                         std::to_string(parts.size()) +
+                         " partial stores but is not row-sharded");
+      }
+      merged.push_back(strip_shard_provenance(parts[0]->result));
+    } else if (!all_rows) {
+      throw MergeError("bench '" + bench +
+                       "': some partials are row-sharded and some are "
+                       "whole-bench; refusing to mix");
+    } else {
+      merged.push_back(merge_row_sharded(bench, parts));
+    }
+  }
+  return merged;
+}
+
+void merge_partial_stores(
+    const std::vector<MergeUnit>& expected_units,
+    const std::string& manifest_hash,
+    const std::vector<std::filesystem::path>& partial_roots,
+    const std::filesystem::path& out_root, const MergeOptions& options) {
+  const std::vector<PartialBench> partials =
+      load_partial_stores(partial_roots);
+  const std::vector<BenchResult> merged =
+      merge_partial_results(expected_units, manifest_hash, partials);
+  for (const BenchResult& result : merged) {
+    result.write(out_root, options.write_csv);
+  }
+}
+
+}  // namespace psllc::results

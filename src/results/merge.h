@@ -1,0 +1,102 @@
+// Partial-result-store merge — the consumer side of the work-unit
+// protocol (src/sim/shard.h). A sharded driver emits, per shard, a result
+// store holding only the benches/rows of the work units it owns, tagged
+// with shard.* provenance params in RunMeta:
+//
+//   shard.manifest       content hash of the governing manifest
+//   shard.index/.count   which shard of how many produced the partial
+//   shard.units          comma-joined unit IDs this partial covers
+//   shard.rows.<series>  global row ordinals, one per series row, for
+//                        benches sharded at cell granularity (absent for
+//                        whole-bench units)
+//
+// merge_partial_stores joins the partials into one store bit-identical to
+// an unsharded run: provenance params are stripped, row-sharded series are
+// reassembled in ordinal order (rows replicated across shards must agree
+// byte-for-byte), per-shard claims are AND-ed, and the unit coverage is
+// checked against the manifest — a duplicate or missing unit refuses the
+// merge with a MergeError naming the unit.
+#ifndef PSLLC_RESULTS_MERGE_H_
+#define PSLLC_RESULTS_MERGE_H_
+
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "results/result_store.h"
+
+namespace psllc::results {
+
+/// Refusal to merge (duplicate/missing/inconsistent units or rows). The
+/// message names the offending unit/series; tools/results_merge exits 1.
+class MergeError : public std::runtime_error {
+ public:
+  explicit MergeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Manifest view the merge validates coverage against — the ID plus a
+/// human-readable label ("bench" or "bench:cell") for error messages.
+/// sim::ShardPlan units map 1:1 onto this (tools/results_merge converts).
+struct MergeUnit {
+  std::string id;
+  std::string label;
+  std::string bench;  ///< result-store directory the unit belongs to
+};
+
+struct MergeOptions {
+  bool write_csv = true;  ///< regenerate per-series CSVs in the merged store
+};
+
+inline constexpr std::string_view kShardParamPrefix = "shard.";
+inline constexpr std::string_view kShardManifestParam = "shard.manifest";
+inline constexpr std::string_view kShardIndexParam = "shard.index";
+inline constexpr std::string_view kShardCountParam = "shard.count";
+inline constexpr std::string_view kShardUnitsParam = "shard.units";
+inline constexpr std::string_view kShardRowsPrefix = "shard.rows.";
+
+[[nodiscard]] bool is_shard_param(std::string_view name);
+
+/// Producer-side helpers: append the provenance params (in the canonical
+/// order the merge strips them back out of).
+void set_shard_provenance(RunMeta& meta, const std::string& manifest_hash,
+                          int shard_index, int shard_count,
+                          const std::vector<std::string>& unit_ids);
+void set_shard_rows(RunMeta& meta, const std::string& series,
+                    const std::vector<std::size_t>& ordinals);
+
+/// Copy of `partial` with every shard.* param removed — what the bench
+/// result would have looked like in an unsharded run (given full rows).
+[[nodiscard]] BenchResult strip_shard_provenance(const BenchResult& partial);
+
+/// One <root>/<bench>/result.json of a partial store.
+struct PartialBench {
+  std::filesystem::path dir;  ///< where it was loaded from (error context)
+  BenchResult result;
+};
+
+/// Loads every <bench>/result.json directly under each root. Throws
+/// MergeError when a root is not a directory or holds no results.
+[[nodiscard]] std::vector<PartialBench> load_partial_stores(
+    const std::vector<std::filesystem::path>& roots);
+
+/// In-memory merge: validates unit coverage (every expected unit exactly
+/// once) and provenance binding, then joins per bench. Returns the merged
+/// results ordered by first appearance of the bench in `expected_units`.
+[[nodiscard]] std::vector<BenchResult> merge_partial_results(
+    const std::vector<MergeUnit>& expected_units,
+    const std::string& manifest_hash,
+    const std::vector<PartialBench>& partials);
+
+/// End to end: load `partial_roots`, merge, write every merged bench into
+/// `out_root` (result.json + CSVs exactly as an unsharded run would).
+void merge_partial_stores(const std::vector<MergeUnit>& expected_units,
+                          const std::string& manifest_hash,
+                          const std::vector<std::filesystem::path>& partial_roots,
+                          const std::filesystem::path& out_root,
+                          const MergeOptions& options = {});
+
+}  // namespace psllc::results
+
+#endif  // PSLLC_RESULTS_MERGE_H_

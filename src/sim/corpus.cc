@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <bit>
 #include <limits>
+#include <mutex>
 #include <set>
 #include <stdexcept>
 #include <unordered_set>
+#include <utility>
 
 #include "common/assert.h"
 #include "common/string_util.h"
@@ -33,14 +35,15 @@ namespace {
 /// Power-of-two window that contains every address of `trace` (plus its
 /// line), so shifted copies occupy disjoint footprints. Floors at 4 KiB to
 /// keep tiny traces' windows page-aligned.
-Addr mirror_window(const core::Trace& trace) {
+Addr mirror_window(const std::string& name, const core::Trace& trace) {
   Addr max_addr = 0;
   for (const core::MemOp& op : trace) {
     max_addr = std::max(max_addr, op.addr);
   }
   PSLLC_CONFIG_CHECK(max_addr <= (Addr{1} << 62),
-                     "corpus: trace addresses reach 0x"
-                         << std::hex << max_addr << std::dec
+                     "corpus entry '" << name
+                         << "': trace addresses reach 0x" << std::hex
+                         << max_addr << std::dec
                          << "; mirrored replay cannot shift disjoint "
                             "copies — use solo replay");
   return std::max<Addr>(std::bit_ceil(max_addr + 64), 4096);
@@ -48,22 +51,23 @@ Addr mirror_window(const core::Trace& trace) {
 
 /// Per-core traces for one cell. `window` is the precomputed
 /// mirror_window of the entry (unused for solo replay).
-std::vector<core::Trace> replay_traces(const CorpusEntry& entry,
+std::vector<core::Trace> replay_traces(const std::string& name,
+                                       const core::Trace& trace,
                                        int active_cores, CorpusReplay replay,
                                        Addr window) {
   if (replay == CorpusReplay::kSolo) {
-    return {entry.trace};
+    return {trace};
   }
   PSLLC_CONFIG_CHECK(
       active_cores <= 1 ||
           window <= (std::numeric_limits<Addr>::max() / 2) /
                         static_cast<Addr>(active_cores - 1),
-      "corpus entry '" << entry.name
+      "corpus entry '" << name
                        << "': mirrored windows overflow the address space");
   std::vector<core::Trace> traces;
   traces.reserve(static_cast<std::size_t>(active_cores));
   for (int c = 0; c < active_cores; ++c) {
-    core::Trace shifted = entry.trace;
+    core::Trace shifted = trace;
     const Addr offset = static_cast<Addr>(c) * window;
     for (core::MemOp& op : shifted) {
       op.addr += offset;
@@ -73,7 +77,7 @@ std::vector<core::Trace> replay_traces(const CorpusEntry& entry,
   return traces;
 }
 
-CorpusCell run_corpus_cell(const CorpusEntry& entry,
+CorpusCell run_corpus_cell(const std::string& name,
                            const SweepConfig& config,
                            const SweepOptions& options,
                            const std::vector<core::Trace>& traces) {
@@ -84,47 +88,75 @@ CorpusCell run_corpus_cell(const CorpusEntry& entry,
   RunOptions run_options;
   run_options.max_cycles = options.max_cycles;
   CorpusCell cell;
-  cell.trace_name = entry.name;
+  cell.trace_name = name;
   cell.config = config;
   cell.metrics = run_experiment(setup, traces, run_options);
+  cell.ran = true;
   return cell;
 }
 
 }  // namespace
 
-CorpusResult run_corpus(const std::vector<CorpusEntry>& entries,
+CorpusResult run_corpus(const std::vector<CorpusSource>& sources,
                         const std::vector<SweepConfig>& configs,
-                        const SweepOptions& options, CorpusReplay replay) {
-  PSLLC_CONFIG_CHECK(!entries.empty(), "corpus run needs >= 1 trace");
+                        const SweepOptions& options, CorpusReplay replay,
+                        const std::vector<bool>* cell_mask) {
+  PSLLC_CONFIG_CHECK(!sources.empty(), "corpus run needs >= 1 trace");
   PSLLC_CONFIG_CHECK(!configs.empty(),
                      "corpus run needs >= 1 configuration");
   std::set<std::string> seen;
-  for (const CorpusEntry& entry : entries) {
-    PSLLC_CONFIG_CHECK(!entry.name.empty(), "corpus entry needs a name");
-    PSLLC_CONFIG_CHECK(seen.insert(entry.name).second,
-                       "duplicate corpus entry '" << entry.name << "'");
+  for (const CorpusSource& source : sources) {
+    PSLLC_CONFIG_CHECK(!source.name.empty(), "corpus entry needs a name");
+    PSLLC_CONFIG_CHECK(static_cast<bool>(source.load),
+                       "corpus entry '" << source.name
+                                        << "' has no loader");
+    PSLLC_CONFIG_CHECK(seen.insert(source.name).second,
+                       "duplicate corpus entry '" << source.name << "'");
   }
+  const std::size_t num_entries = sources.size();
+  const std::size_t num_configs = configs.size();
+  PSLLC_CONFIG_CHECK(
+      cell_mask == nullptr ||
+          cell_mask->size() == num_entries * num_configs,
+      "corpus cell mask has " << (cell_mask ? cell_mask->size() : 0)
+                              << " flags for a grid of "
+                              << num_entries * num_configs << " cells");
+  const auto cell_owned = [&](std::size_t e, std::size_t c) {
+    return cell_mask == nullptr || (*cell_mask)[e * num_configs + c];
+  };
 
   CorpusResult result;
   result.configs = configs;
-  result.names.reserve(entries.size());
-  for (const CorpusEntry& entry : entries) {
-    result.names.push_back(entry.name);
+  result.names.reserve(num_entries);
+  for (const CorpusSource& source : sources) {
+    result.names.push_back(source.name);
   }
-  result.cells.resize(entries.size() * configs.size());
+  // Every cell is pre-labelled so masked-out cells still identify
+  // themselves (with ran == false and default metrics).
+  result.cells.resize(num_entries * num_configs);
+  for (std::size_t e = 0; e < num_entries; ++e) {
+    for (std::size_t c = 0; c < num_configs; ++c) {
+      CorpusCell& cell = result.cells[e * num_configs + c];
+      cell.trace_name = sources[e].name;
+      cell.config = configs[c];
+    }
+  }
+  result.entry_stats.resize(num_entries);
+  result.entry_ran.assign(num_entries, false);
 
   // The config axis grouped by active core count: one batch job per
-  // (entry, core count) owning one shifted trace set, so even a
-  // single-trace corpus parallelizes across the core-count axis while the
-  // huge trace is copied once per core count, not per cell. Every cell
-  // writes only its own pre-sized slot, so results stay bit-identical for
-  // any thread count and scheduling order.
+  // (entry, core count) loading its own trace and owning one shifted
+  // trace set, so even a single-trace corpus parallelizes across the
+  // core-count axis while the trace is loaded once per core count, not
+  // per cell — and at most `concurrent jobs` entries are ever resident.
+  // Every cell writes only its own pre-sized slot, so results stay
+  // bit-identical for any thread count and scheduling order.
   struct ConfigGroup {
     int active_cores = 0;
     std::vector<std::size_t> config_indices;
   };
   std::vector<ConfigGroup> groups;
-  for (std::size_t c = 0; c < configs.size(); ++c) {
+  for (std::size_t c = 0; c < num_configs; ++c) {
     ConfigGroup* group = nullptr;
     for (ConfigGroup& g : groups) {
       if (g.active_cores == configs[c].active_cores) {
@@ -139,43 +171,73 @@ CorpusResult run_corpus(const std::vector<CorpusEntry>& entries,
     group->config_indices.push_back(c);
   }
 
-  // One mirror-geometry scan per entry, done up front so unshiftable
-  // addresses fail fast before any job is scheduled. Single-core configs
-  // never shift, so a grid without multi-core configs skips the scan and
-  // accepts traces at any address.
-  bool any_multicore = false;
-  for (const SweepConfig& config : configs) {
-    any_multicore = any_multicore || config.active_cores > 1;
-  }
-  std::vector<Addr> windows(entries.size(), 0);
-  if (replay == CorpusReplay::kMirrored && any_multicore) {
-    for (std::size_t e = 0; e < entries.size(); ++e) {
-      windows[e] = mirror_window(entries[e].trace);
-    }
-  }
+  // The first scheduled job of an entry also records the trace stats
+  // (single writer per entry_stats slot; the value is identical whichever
+  // group computed it).
+  std::vector<std::size_t> stats_owner(num_entries, groups.size());
+
+  std::mutex residency_mutex;
+  int entries_resident = 0;
+  int peak_resident = 0;
 
   std::vector<BatchJob> jobs;
-  jobs.reserve(entries.size() * groups.size());
-  for (std::size_t e = 0; e < entries.size(); ++e) {
+  jobs.reserve(num_entries * groups.size());
+  for (std::size_t e = 0; e < num_entries; ++e) {
     for (std::size_t g = 0; g < groups.size(); ++g) {
+      std::vector<std::size_t> owned;
+      for (const std::size_t c : groups[g].config_indices) {
+        if (cell_owned(e, c)) {
+          owned.push_back(c);
+        }
+      }
+      if (owned.empty()) {
+        continue;
+      }
+      result.entry_ran[e] = true;
+      if (stats_owner[e] == groups.size()) {
+        stats_owner[e] = g;
+      }
       BatchJob job;
       job.name = groups.size() > 1
-                     ? entries[e].name + "@" +
+                     ? sources[e].name + "@" +
                            std::to_string(groups[g].active_cores) + "c"
-                     : entries[e].name;
+                     : sources[e].name;
       job.threads_wanted = 1;
-      job.run = [&, e, g](int /*threads_granted*/) {
+      job.run = [&, e, g, owned = std::move(owned)](
+                    int /*threads_granted*/) {
         const ConfigGroup& group = groups[g];
+        // Counted from before the load starts: a trace being materialized
+        // is already resident memory, which is exactly what the peak
+        // metric exists to bound.
+        {
+          const std::lock_guard<std::mutex> lock(residency_mutex);
+          ++entries_resident;
+          peak_resident = std::max(peak_resident, entries_resident);
+        }
+        const core::Trace trace = sources[e].load();
+        if (stats_owner[e] == g) {
+          result.entry_stats[e] = compute_trace_stats(trace);
+        }
+        Addr window = 0;
+        if (replay == CorpusReplay::kMirrored && group.active_cores > 1) {
+          window = mirror_window(sources[e].name, trace);
+        }
         const std::vector<core::Trace> traces = replay_traces(
-            entries[e], group.active_cores, replay, windows[e]);
-        for (const std::size_t c : group.config_indices) {
-          result.cells[e * configs.size() + c] =
-              run_corpus_cell(entries[e], configs[c], options, traces);
+            sources[e].name, trace, group.active_cores, replay, window);
+        for (const std::size_t c : owned) {
+          result.cells[e * num_configs + c] = run_corpus_cell(
+              sources[e].name, configs[c], options, traces);
+        }
+        {
+          const std::lock_guard<std::mutex> lock(residency_mutex);
+          --entries_resident;
         }
       };
       jobs.push_back(std::move(job));
     }
   }
+  PSLLC_CONFIG_CHECK(!jobs.empty(),
+                     "corpus cell mask excludes every cell of the grid");
 
   BatchOptions batch;
   batch.threads = options.threads;
@@ -185,10 +247,24 @@ CorpusResult run_corpus(const std::vector<CorpusEntry>& entries,
   const BatchReport report = run_batch(std::move(jobs), batch);
   PSLLC_CONFIG_CHECK(report.all_ok(),
                      "corpus run failed:\n" << report.error_summary());
+  result.peak_entries_resident = peak_resident;
   return result;
 }
 
-std::vector<CorpusEntry> load_corpus_dir(const std::filesystem::path& dir) {
+CorpusResult run_corpus(const std::vector<CorpusEntry>& entries,
+                        const std::vector<SweepConfig>& configs,
+                        const SweepOptions& options, CorpusReplay replay,
+                        const std::vector<bool>* cell_mask) {
+  std::vector<CorpusSource> sources;
+  sources.reserve(entries.size());
+  for (const CorpusEntry& entry : entries) {
+    sources.push_back({entry.name, [&entry] { return entry.trace; }});
+  }
+  return run_corpus(sources, configs, options, replay, cell_mask);
+}
+
+std::vector<CorpusSource> corpus_dir_sources(
+    const std::filesystem::path& dir) {
   if (!std::filesystem::is_directory(dir)) {
     throw std::runtime_error("corpus path " + dir.string() +
                              " is not a directory");
@@ -212,17 +288,26 @@ std::vector<CorpusEntry> load_corpus_dir(const std::filesystem::path& dir) {
                const std::filesystem::path& b) {
               return a.stem().string() < b.stem().string();
             });
-  std::vector<CorpusEntry> corpus;
-  corpus.reserve(files.size());
+  std::vector<CorpusSource> sources;
+  sources.reserve(files.size());
   for (const std::filesystem::path& file : files) {
-    CorpusEntry entry;
-    entry.name = file.stem().string();
-    PSLLC_CONFIG_CHECK(corpus.empty() || corpus.back().name != entry.name,
+    CorpusSource source;
+    source.name = file.stem().string();
+    PSLLC_CONFIG_CHECK(sources.empty() ||
+                           sources.back().name != source.name,
                        "corpus directory "
                            << dir.string() << ": two trace files share the "
-                           << "stem '" << entry.name << "'");
-    entry.trace = read_trace_file(file.string());
-    corpus.push_back(std::move(entry));
+                           << "stem '" << source.name << "'");
+    source.load = [file] { return read_trace_file(file.string()); };
+    sources.push_back(std::move(source));
+  }
+  return sources;
+}
+
+std::vector<CorpusEntry> load_corpus_dir(const std::filesystem::path& dir) {
+  std::vector<CorpusEntry> corpus;
+  for (const CorpusSource& source : corpus_dir_sources(dir)) {
+    corpus.push_back({source.name, source.load()});
   }
   return corpus;
 }
@@ -259,40 +344,55 @@ TraceStats compute_trace_stats(const core::Trace& trace) {
   return acc.stats();
 }
 
-std::vector<CorpusEntry> make_demo_corpus(int accesses) {
+std::vector<CorpusSource> demo_corpus_sources(int accesses) {
   PSLLC_CONFIG_CHECK(accesses >= 1 && accesses <= 10'000'000,
                      "demo corpus needs accesses in [1, 1e7], got "
                          << accesses);
-  std::vector<CorpusEntry> corpus;
+  std::vector<CorpusSource> sources;
 
   // Hot pointer chase: a 64-line working set walked `accesses` times —
   // maximally replacement-hostile ordering.
-  corpus.push_back(
-      {"chase_hot", make_pointer_chase_trace(0, 64, accesses, 101)});
+  sources.push_back({"chase_hot", [accesses] {
+                       return make_pointer_chase_trace(0, 64, accesses,
+                                                       101);
+                     }});
 
   // Cold strided scan: every access a new line, reads only.
-  corpus.push_back({"stride_scan",
-                    make_strided_trace(0, 64, accesses, 1)});
+  sources.push_back({"stride_scan", [accesses] {
+                       return make_strided_trace(0, 64, accesses, 1);
+                     }});
 
   // Uniform random over 8 KiB with think time between accesses.
-  RandomWorkloadOptions gap_options;
-  gap_options.range_bytes = 8192;
-  gap_options.accesses = accesses;
-  gap_options.write_fraction = 0.25;
-  gap_options.gap = 8;
-  corpus.push_back(
-      {"uniform_gap", make_uniform_random_trace(0, gap_options, 202)});
+  sources.push_back({"uniform_gap", [accesses] {
+                       RandomWorkloadOptions gap_options;
+                       gap_options.range_bytes = 8192;
+                       gap_options.accesses = accesses;
+                       gap_options.write_fraction = 0.25;
+                       gap_options.gap = 8;
+                       return make_uniform_random_trace(0, gap_options,
+                                                        202);
+                     }});
 
   // Wide uniform random: 64 KiB footprint, mostly reads, back to back.
-  RandomWorkloadOptions wide_options;
-  wide_options.range_bytes = 65536;
-  wide_options.accesses = accesses;
-  wide_options.write_fraction = 0.1;
-  corpus.push_back(
-      {"uniform_wide", make_uniform_random_trace(0, wide_options, 303)});
+  sources.push_back({"uniform_wide", [accesses] {
+                       RandomWorkloadOptions wide_options;
+                       wide_options.range_bytes = 65536;
+                       wide_options.accesses = accesses;
+                       wide_options.write_fraction = 0.1;
+                       return make_uniform_random_trace(0, wide_options,
+                                                        303);
+                     }});
 
-  // Entry order is name order, matching load_corpus_dir on the emitted
+  // Entry order is name order, matching corpus_dir_sources on the emitted
   // files.
+  return sources;
+}
+
+std::vector<CorpusEntry> make_demo_corpus(int accesses) {
+  std::vector<CorpusEntry> corpus;
+  for (const CorpusSource& source : demo_corpus_sources(accesses)) {
+    corpus.push_back({source.name, source.load()});
+  }
   return corpus;
 }
 

@@ -1,16 +1,23 @@
-// Trace-corpus runner: replays a set of recorded traces (loaded from a
-// directory of .trace/.pslt files or generated as the built-in demo
-// corpus) across a grid of partition configurations, scheduling the
-// (trace x config) cells through sim::run_batch. This is the recorded-
-// workload counterpart of run_sweep, which generates its workloads
-// internally; both take their execution knobs (dram backend, horizon,
-// thread budget) from SweepOptions so benches configure one options
-// struct for either path.
+// Trace-corpus runner: replays a set of recorded traces (a directory of
+// .trace/.pslt files or the built-in demo corpus) across a grid of
+// partition configurations, scheduling the (trace x config) cells through
+// sim::run_batch. This is the recorded-workload counterpart of run_sweep,
+// which generates its workloads internally; both take their execution
+// knobs (dram backend, horizon, thread budget) from SweepOptions so
+// benches configure one options struct for either path.
+//
+// Corpora are streamed per entry: run_corpus takes lazy CorpusSources and
+// each batch job loads its own trace inside the job, so at most
+// `concurrent jobs` entries are resident at once (reported as
+// CorpusResult::peak_entries_resident) instead of the whole corpus. An
+// optional cell mask restricts execution to a subset of the grid — the
+// execution half of the cross-process work-unit protocol (sim/shard.h).
 #ifndef PSLLC_SIM_CORPUS_H_
 #define PSLLC_SIM_CORPUS_H_
 
 #include <cstdint>
 #include <filesystem>
+#include <functional>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -25,6 +32,14 @@ namespace psllc::sim {
 struct CorpusEntry {
   std::string name;
   core::Trace trace;
+};
+
+/// A lazily loadable corpus workload. `load` is invoked inside the batch
+/// job(s) that replay the entry (possibly once per active-core-count
+/// group, concurrently) and must return the same trace every call.
+struct CorpusSource {
+  std::string name;
+  std::function<core::Trace()> load;
 };
 
 /// How a single-stream corpus entry populates a multi-core system.
@@ -44,51 +59,10 @@ struct CorpusCell {
   std::string trace_name;
   SweepConfig config;
   RunMetrics metrics;
+  /// False when the cell was excluded by the cell mask (its metrics are
+  /// default-constructed) — partial grids of a sharded run.
+  bool ran = false;
 };
-
-struct CorpusResult {
-  std::vector<std::string> names;  ///< entry order of the run
-  std::vector<SweepConfig> configs;
-  /// cells[e * configs.size() + c]
-  std::vector<CorpusCell> cells;
-
-  [[nodiscard]] const CorpusCell& cell(int entry_index,
-                                       int config_index) const;
-};
-
-/// Runs every entry against every configuration. Uses, from `options`:
-/// `dram` (memory backend per cell), `max_cycles` (horizon) and `threads`
-/// (forwarded into the run_batch budget). The grid is scheduled as one
-/// single-threaded job per (entry, active-core count) — each job owns one
-/// shifted trace set and runs that core count's configs serially — so
-/// even a one-trace corpus parallelizes across the core-count axis. The
-/// workload-generation fields (seed, ranges, accesses) are ignored — the
-/// corpus IS the workload. Results are deterministic and independent of
-/// the thread count. Throws ConfigError on an empty/duplicate-name corpus
-/// or when a cell fails.
-[[nodiscard]] CorpusResult run_corpus(const std::vector<CorpusEntry>& entries,
-                                      const std::vector<SweepConfig>& configs,
-                                      const SweepOptions& options,
-                                      CorpusReplay replay =
-                                          CorpusReplay::kMirrored);
-
-/// Loads every "*.trace" (text) and "*.pslt" (binary) file directly under
-/// `dir` (extensions matched case-insensitively), sorted by file stem; the
-/// stem becomes the entry name. The whole corpus is materialized in RAM —
-/// size corpora to memory accordingly; per-entry streaming (loading each
-/// entry inside its batch job) is the planned next step for corpora that
-/// exceed it. Throws ConfigError when the directory holds no trace files
-/// or two files share a stem, std::runtime_error when `dir` is not a
-/// directory.
-[[nodiscard]] std::vector<CorpusEntry> load_corpus_dir(
-    const std::filesystem::path& dir);
-
-/// The deterministic built-in demo corpus (pointer chase, strided scan,
-/// and two uniform-random mixes), sized by `accesses` per entry. Used by
-/// bench/corpus_runner when no corpus directory is given and emitted as
-/// files by `trace_convert --demo`, so the file pipeline can be checked
-/// against the in-memory workloads bit for bit.
-[[nodiscard]] std::vector<CorpusEntry> make_demo_corpus(int accesses);
 
 /// Op-mix / footprint summary of one trace, shared by the corpus runner's
 /// corpus_traces series and `trace_convert --stats`.
@@ -103,6 +77,82 @@ struct TraceStats {
   std::uint64_t total_gap = 0;  ///< saturates at UINT64_MAX
   std::int64_t distinct_lines = 0;  ///< 64 B cache lines touched
 };
+
+struct CorpusResult {
+  std::vector<std::string> names;  ///< entry order of the run
+  std::vector<SweepConfig> configs;
+  /// cells[e * configs.size() + c]
+  std::vector<CorpusCell> cells;
+  /// Per-entry stats, computed while the entry was resident; meaningful
+  /// only where entry_ran[e] (default-constructed otherwise).
+  std::vector<TraceStats> entry_stats;
+  /// entry_ran[e]: the entry had at least one executed cell (always true
+  /// without a cell mask).
+  std::vector<bool> entry_ran;
+  /// Most entries concurrently loaded at any point of the run — bounded by
+  /// the batch concurrency, not the corpus size (per-entry streaming).
+  int peak_entries_resident = 0;
+
+  [[nodiscard]] const CorpusCell& cell(int entry_index,
+                                       int config_index) const;
+};
+
+/// Runs every source against every configuration. Uses, from `options`:
+/// `dram` (memory backend per cell), `max_cycles` (horizon) and `threads`
+/// (forwarded into the run_batch budget). The grid is scheduled as one
+/// single-threaded job per (entry, active-core count) — each job loads
+/// the entry, owns one shifted trace set and runs that core count's
+/// configs serially — so even a one-trace corpus parallelizes across the
+/// core-count axis while at most `threads` entries are ever resident.
+/// `cell_mask`, when given, must have entries.size() * configs.size()
+/// flags in cell order (e * configs.size() + c); cells with a false flag
+/// are not executed (CorpusCell::ran == false) and entries with no owned
+/// cell are never loaded. The workload-generation fields (seed, ranges,
+/// accesses) are ignored — the corpus IS the workload. Results are
+/// deterministic and independent of the thread count. Throws ConfigError
+/// on an empty/duplicate-name corpus or when a cell fails.
+[[nodiscard]] CorpusResult run_corpus(const std::vector<CorpusSource>& sources,
+                                      const std::vector<SweepConfig>& configs,
+                                      const SweepOptions& options,
+                                      CorpusReplay replay =
+                                          CorpusReplay::kMirrored,
+                                      const std::vector<bool>* cell_mask =
+                                          nullptr);
+
+/// Convenience overload over pre-materialized entries (which must outlive
+/// the call); jobs copy from `entries` instead of loading from disk.
+[[nodiscard]] CorpusResult run_corpus(const std::vector<CorpusEntry>& entries,
+                                      const std::vector<SweepConfig>& configs,
+                                      const SweepOptions& options,
+                                      CorpusReplay replay =
+                                          CorpusReplay::kMirrored,
+                                      const std::vector<bool>* cell_mask =
+                                          nullptr);
+
+/// Scans every "*.trace" (text) and "*.pslt" (binary) file directly under
+/// `dir` (extensions matched case-insensitively), sorted by file stem; the
+/// stem becomes the source name and loading is deferred to the returned
+/// closures, so a corpus directory of any size costs one directory scan
+/// here. Throws ConfigError when the directory holds no trace files or
+/// two files share a stem, std::runtime_error when `dir` is not a
+/// directory.
+[[nodiscard]] std::vector<CorpusSource> corpus_dir_sources(
+    const std::filesystem::path& dir);
+
+/// corpus_dir_sources with every trace materialized immediately.
+[[nodiscard]] std::vector<CorpusEntry> load_corpus_dir(
+    const std::filesystem::path& dir);
+
+/// Lazy sources for the deterministic built-in demo corpus (pointer
+/// chase, strided scan, and two uniform-random mixes), sized by
+/// `accesses` per entry. Used by bench/corpus_runner when no corpus
+/// directory is given and emitted as files by `trace_convert --demo`, so
+/// the file pipeline can be checked against the in-memory workloads bit
+/// for bit.
+[[nodiscard]] std::vector<CorpusSource> demo_corpus_sources(int accesses);
+
+/// demo_corpus_sources with every trace materialized immediately.
+[[nodiscard]] std::vector<CorpusEntry> make_demo_corpus(int accesses);
 
 /// Streaming accumulator behind compute_trace_stats, usable over any op
 /// source — e.g. a trace::MappedTrace decoded record by record, so

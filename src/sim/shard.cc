@@ -1,0 +1,251 @@
+#include "sim/shard.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/assert.h"
+
+namespace psllc::sim {
+
+std::uint64_t fnv1a64(std::string_view text) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::string content_id(std::string_view key) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  const std::uint64_t hash = fnv1a64(key);
+  std::string id(16, '0');
+  for (int nibble = 0; nibble < 16; ++nibble) {
+    id[static_cast<std::size_t>(nibble)] =
+        kHex[(hash >> (60 - 4 * nibble)) & 0xF];
+  }
+  return id;
+}
+
+void ShardSpec::validate() const {
+  PSLLC_CONFIG_CHECK(count >= 1, "shard count must be >= 1, got " << count);
+  PSLLC_CONFIG_CHECK(index >= 0 && index < count,
+                     "shard index " << index << " out of range [0, " << count
+                                    << ")");
+}
+
+bool ShardSpec::owns(std::size_t ordinal) const {
+  return static_cast<int>(ordinal % static_cast<std::size_t>(count)) == index;
+}
+
+std::string WorkUnit::label() const {
+  return cell.empty() ? bench : bench + ":" + cell;
+}
+
+namespace {
+
+/// '|' separates key fields, so embedded separators must be escaped for
+/// the content address to be injective ("a|b"+"c" must not collide with
+/// "a"+"b|c").
+void append_escaped(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    if (c == '|' || c == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+}
+
+}  // namespace
+
+ShardPlan::ShardPlan(std::string grid,
+                     std::vector<std::pair<std::string, std::string>> params,
+                     int shard_count)
+    : grid_(std::move(grid)),
+      params_(std::move(params)),
+      shard_count_(shard_count) {
+  PSLLC_CONFIG_CHECK(!grid_.empty(), "shard plan needs a grid name");
+  PSLLC_CONFIG_CHECK(shard_count_ >= 1,
+                     "shard plan needs shard_count >= 1, got "
+                         << shard_count_);
+  append_escaped(key_prefix_, grid_);
+  key_prefix_.push_back('|');
+  for (const auto& [key, value] : params_) {
+    append_escaped(key_prefix_, key);
+    key_prefix_.push_back('=');
+    append_escaped(key_prefix_, value);
+    key_prefix_.push_back('|');
+  }
+}
+
+std::size_t ShardPlan::add_unit(const std::string& bench,
+                                const std::string& cell) {
+  PSLLC_CONFIG_CHECK(!bench.empty(), "work unit needs a bench name");
+  std::string key = key_prefix_;
+  append_escaped(key, bench);
+  key.push_back('|');
+  append_escaped(key, cell);
+  WorkUnit unit{content_id(key), bench, cell};
+  PSLLC_CONFIG_CHECK(unit_ids_.insert(unit.id).second,
+                     "duplicate work unit " << unit.label() << " (id "
+                                            << unit.id << ")");
+  units_.push_back(std::move(unit));
+  return units_.size() - 1;
+}
+
+int ShardPlan::shard_of(std::size_t ordinal) const {
+  PSLLC_ASSERT(ordinal < units_.size(),
+               "unit ordinal " << ordinal << " out of range");
+  return static_cast<int>(ordinal % static_cast<std::size_t>(shard_count_));
+}
+
+std::vector<std::size_t> ShardPlan::owned_ordinals(
+    const ShardSpec& spec) const {
+  spec.validate();
+  PSLLC_CONFIG_CHECK(spec.count == shard_count_,
+                     "shard spec has count " << spec.count
+                                             << " but the plan was built for "
+                                             << shard_count_ << " shards");
+  std::vector<std::size_t> owned;
+  for (std::size_t ordinal = 0; ordinal < units_.size(); ++ordinal) {
+    if (spec.owns(ordinal)) {
+      owned.push_back(ordinal);
+    }
+  }
+  return owned;
+}
+
+std::string ShardPlan::content_hash() const {
+  std::string key = key_prefix_;
+  key += "shards=" + std::to_string(shard_count_);
+  for (const WorkUnit& unit : units_) {
+    key.push_back('|');
+    key += unit.id;
+  }
+  return content_id(key);
+}
+
+results::Json ShardPlan::to_json() const {
+  results::Json json = results::Json::make_object();
+  json.set("schema_version", results::Json::make_int(1));
+  json.set("kind", results::Json::make_string("psllc-shard-manifest"));
+  json.set("grid", results::Json::make_string(grid_));
+  results::Json params = results::Json::make_object();
+  for (const auto& [key, value] : params_) {
+    params.set(key, results::Json::make_string(value));
+  }
+  json.set("params", std::move(params));
+  json.set("shard_count", results::Json::make_int(shard_count_));
+  json.set("content_hash", results::Json::make_string(content_hash()));
+  results::Json units = results::Json::make_array();
+  for (std::size_t ordinal = 0; ordinal < units_.size(); ++ordinal) {
+    const WorkUnit& unit = units_[ordinal];
+    results::Json u = results::Json::make_object();
+    u.set("id", results::Json::make_string(unit.id));
+    u.set("bench", results::Json::make_string(unit.bench));
+    u.set("cell", results::Json::make_string(unit.cell));
+    u.set("shard", results::Json::make_int(shard_of(ordinal)));
+    units.push_back(std::move(u));
+  }
+  json.set("units", std::move(units));
+  return json;
+}
+
+ShardPlan ShardPlan::from_json(const results::Json& json) {
+  PSLLC_CONFIG_CHECK(json.at("schema_version").as_int() == 1,
+                     "unsupported shard manifest schema version "
+                         << json.at("schema_version").as_int());
+  PSLLC_CONFIG_CHECK(json.at("kind").as_string() == "psllc-shard-manifest",
+                     "not a shard manifest (kind '"
+                         << json.at("kind").as_string() << "')");
+  std::vector<std::pair<std::string, std::string>> params;
+  for (const auto& [key, value] : json.at("params").members()) {
+    params.emplace_back(key, value.as_string());
+  }
+  ShardPlan plan(json.at("grid").as_string(), std::move(params),
+                 static_cast<int>(json.at("shard_count").as_int()));
+  for (const results::Json& u : json.at("units").as_array()) {
+    const std::size_t ordinal =
+        plan.add_unit(u.at("bench").as_string(), u.at("cell").as_string());
+    // IDs are recomputed from content, so a manifest edited by hand (or
+    // from a different build of the planner) is rejected instead of
+    // silently re-addressed.
+    PSLLC_CONFIG_CHECK(
+        plan.units_[ordinal].id == u.at("id").as_string(),
+        "shard manifest unit " << plan.units_[ordinal].label()
+                               << ": stored id " << u.at("id").as_string()
+                               << " does not match recomputed id "
+                               << plan.units_[ordinal].id);
+    PSLLC_CONFIG_CHECK(plan.shard_of(ordinal) ==
+                           static_cast<int>(u.at("shard").as_int()),
+                       "shard manifest unit "
+                           << plan.units_[ordinal].label()
+                           << ": stored shard assignment disagrees with "
+                              "round-robin ordinal assignment");
+  }
+  PSLLC_CONFIG_CHECK(
+      plan.content_hash() == json.at("content_hash").as_string(),
+      "shard manifest content hash mismatch (stored "
+          << json.at("content_hash").as_string() << ", recomputed "
+          << plan.content_hash() << ")");
+  return plan;
+}
+
+void ShardPlan::write(const std::filesystem::path& path) const {
+  if (path.has_parent_path()) {
+    std::filesystem::create_directories(path.parent_path());
+  }
+  // Temp-then-rename keeps the manifest atomic: shards launched in
+  // parallel write byte-identical content, and a reader never sees a
+  // partially written file. The temp name must be unique per writer
+  // (pid + counter) — a shared temp path would let two concurrent shards
+  // truncate each other mid-write.
+  static std::atomic<unsigned> write_serial{0};
+  const std::filesystem::path tmp =
+      path.string() + ".tmp." + std::to_string(::getpid()) + "." +
+      std::to_string(write_serial.fetch_add(1));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("cannot open " + tmp.string() +
+                               " for writing");
+    }
+    out << to_json().dump();
+    out.flush();
+    if (!out) {
+      throw std::runtime_error("write failed for " + tmp.string());
+    }
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+ShardPlan ShardPlan::load(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open shard manifest " + path.string());
+  }
+  std::ostringstream oss;
+  oss << in.rdbuf();
+  return from_json(results::Json::parse(oss.str()));
+}
+
+void ShardPlan::write_or_verify(const std::filesystem::path& path) const {
+  if (!std::filesystem::exists(path)) {
+    write(path);
+    return;
+  }
+  const ShardPlan existing = load(path);
+  PSLLC_CONFIG_CHECK(
+      existing.content_hash() == content_hash(),
+      "manifest " << path.string()
+                  << " describes a different grid (content hash "
+                  << existing.content_hash() << ", this run computes "
+                  << content_hash()
+                  << "); delete it or fix the run flags");
+}
+
+}  // namespace psllc::sim

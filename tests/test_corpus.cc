@@ -3,8 +3,10 @@
 // determinism across thread counts, replay modes) and its error paths.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -151,13 +153,135 @@ TEST(Corpus, RunRejectsBadInput) {
   const std::vector<SweepConfig> configs = {{"SS(32,2,2)", 2}};
   SweepOptions options;
   options.threads = 1;
-  EXPECT_THROW((void)run_corpus({}, configs, options), ConfigError);
+  EXPECT_THROW((void)run_corpus(std::vector<CorpusEntry>{}, configs,
+                                options),
+               ConfigError);
   EXPECT_THROW((void)run_corpus(corpus, {}, options), ConfigError);
   std::vector<CorpusEntry> dup = {corpus.front(), corpus.front()};
   EXPECT_THROW((void)run_corpus(dup, configs, options), ConfigError);
   // A bad notation fails the cell; run_corpus surfaces it.
   const std::vector<SweepConfig> bogus = {{"bogus-notation", 2}};
   EXPECT_THROW((void)run_corpus(corpus, bogus, options), ConfigError);
+}
+
+TEST(Corpus, StreamingSourcesMatchMaterializedEntries) {
+  const auto corpus = make_demo_corpus(80);
+  std::vector<CorpusSource> sources = demo_corpus_sources(80);
+  const std::vector<SweepConfig> configs = {{"SS(32,2,2)", 2},
+                                            {"P(8,2)", 2}};
+  SweepOptions options;
+  options.threads = 2;
+  const CorpusResult via_entries = run_corpus(corpus, configs, options);
+  const CorpusResult via_sources = run_corpus(sources, configs, options);
+  ASSERT_EQ(via_entries.cells.size(), via_sources.cells.size());
+  for (std::size_t i = 0; i < via_entries.cells.size(); ++i) {
+    EXPECT_EQ(via_entries.cells[i].trace_name,
+              via_sources.cells[i].trace_name);
+    EXPECT_TRUE(via_sources.cells[i].ran);
+    EXPECT_EQ(via_entries.cells[i].metrics.makespan,
+              via_sources.cells[i].metrics.makespan) << "cell " << i;
+    EXPECT_EQ(via_entries.cells[i].metrics.observed_wcl,
+              via_sources.cells[i].metrics.observed_wcl) << "cell " << i;
+  }
+  // Per-entry stats come back from the run, computed while the trace was
+  // resident.
+  ASSERT_EQ(via_sources.entry_stats.size(), corpus.size());
+  for (std::size_t e = 0; e < corpus.size(); ++e) {
+    EXPECT_TRUE(via_sources.entry_ran[e]);
+    const TraceStats expected = compute_trace_stats(corpus[e].trace);
+    EXPECT_EQ(via_sources.entry_stats[e].ops, expected.ops);
+    EXPECT_EQ(via_sources.entry_stats[e].distinct_lines,
+              expected.distinct_lines);
+  }
+}
+
+TEST(Corpus, PerEntryStreamingBoundsPeakEntriesResident) {
+  // 4 entries, one active-core-count group -> 4 jobs. A serial run must
+  // only ever hold ONE entry resident (the whole point of per-entry
+  // streaming: the corpus is no longer materialized up front), and a
+  // 2-thread run at most two.
+  const std::vector<SweepConfig> configs = {{"SS(32,2,2)", 2},
+                                            {"P(8,2)", 2}};
+  SweepOptions serial;
+  serial.threads = 1;
+  const CorpusResult one =
+      run_corpus(demo_corpus_sources(60), configs, serial);
+  EXPECT_EQ(one.peak_entries_resident, 1);
+
+  SweepOptions two;
+  two.threads = 2;
+  const CorpusResult both =
+      run_corpus(demo_corpus_sources(60), configs, two);
+  EXPECT_GE(both.peak_entries_resident, 1);
+  EXPECT_LE(both.peak_entries_resident, 2);
+}
+
+TEST(Corpus, CellMaskRunsOnlyOwnedCellsAndNeverLoadsUnownedEntries) {
+  const auto corpus = make_demo_corpus(60);
+  const std::vector<SweepConfig> configs = {{"SS(32,2,2)", 2},
+                                            {"P(8,2)", 2}};
+  // Instrumented sources: count how often each entry is loaded.
+  auto load_counts =
+      std::make_shared<std::vector<std::atomic<int>>>(corpus.size());
+  std::vector<CorpusSource> sources;
+  for (std::size_t e = 0; e < corpus.size(); ++e) {
+    sources.push_back({corpus[e].name, [&corpus, load_counts, e] {
+                         ++(*load_counts)[e];
+                         return corpus[e].trace;
+                       }});
+  }
+  // Own only entry 0 (both configs) and entry 2 (first config).
+  std::vector<bool> mask(corpus.size() * configs.size(), false);
+  mask[0] = true;
+  mask[1] = true;
+  mask[2 * configs.size()] = true;
+
+  SweepOptions options;
+  options.threads = 2;
+  const CorpusResult partial =
+      run_corpus(sources, configs, options, CorpusReplay::kMirrored, &mask);
+  const CorpusResult full = run_corpus(corpus, configs, options);
+
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    EXPECT_EQ(partial.cells[i].ran, static_cast<bool>(mask[i]))
+        << "cell " << i;
+    EXPECT_EQ(partial.cells[i].trace_name, full.cells[i].trace_name);
+    if (mask[i]) {
+      // Owned cells are bit-identical to the full run.
+      EXPECT_EQ(partial.cells[i].metrics.makespan,
+                full.cells[i].metrics.makespan) << "cell " << i;
+      EXPECT_EQ(partial.cells[i].metrics.observed_wcl,
+                full.cells[i].metrics.observed_wcl) << "cell " << i;
+      EXPECT_EQ(partial.cells[i].metrics.per_core_finish,
+                full.cells[i].metrics.per_core_finish) << "cell " << i;
+    } else {
+      EXPECT_FALSE(partial.cells[i].metrics.completed);
+    }
+  }
+  EXPECT_TRUE(partial.entry_ran[0]);
+  EXPECT_FALSE(partial.entry_ran[1]);
+  EXPECT_TRUE(partial.entry_ran[2]);
+  EXPECT_FALSE(partial.entry_ran[3]);
+  EXPECT_EQ(partial.entry_stats[0].ops,
+            compute_trace_stats(corpus[0].trace).ops);
+  for (std::size_t e = 0; e < corpus.size(); ++e) {
+    if (partial.entry_ran[e]) {
+      EXPECT_GE((*load_counts)[e].load(), 1) << "entry " << e;
+    } else {
+      EXPECT_EQ((*load_counts)[e].load(), 0)
+          << "masked-out entry " << e << " was loaded";
+    }
+  }
+
+  // Bad masks: wrong arity, or a mask excluding the whole grid.
+  std::vector<bool> short_mask(3, true);
+  EXPECT_THROW((void)run_corpus(sources, configs, options,
+                                CorpusReplay::kMirrored, &short_mask),
+               ConfigError);
+  std::vector<bool> empty_mask(corpus.size() * configs.size(), false);
+  EXPECT_THROW((void)run_corpus(sources, configs, options,
+                                CorpusReplay::kMirrored, &empty_mask),
+               ConfigError);
 }
 
 TEST(Corpus, MirroredReplayRejectsUnshiftableAddresses) {

@@ -1,0 +1,107 @@
+// results_merge — joins partial result stores emitted by sharded runs
+// (run_all --shard-count / corpus_runner --shard-count) into one store
+// bit-identical to the unsharded run, validating coverage against the
+// shard manifest: every work unit must be covered by exactly one partial,
+// and the merge refuses (exit 1, naming the unit) on duplicates, missing
+// units, or partials produced under a different manifest.
+//
+//   results_merge --manifest FILE --out DIR [--no-csv] PARTIAL_DIR...
+//
+// Exit codes: 0 = merged, 1 = refused (coverage/consistency), 2 = usage
+// or I/O error.
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "results/merge.h"
+#include "sim/shard.h"
+
+namespace {
+
+void print_usage() {
+  std::printf(
+      "usage: results_merge --manifest FILE --out DIR [options] "
+      "PARTIAL_DIR...\n"
+      "  --manifest FILE   shard manifest the partial stores were run "
+      "under\n"
+      "  --out DIR         merged result-store root (created)\n"
+      "  --no-csv          write only result.json, no per-series CSVs\n");
+}
+
+int run(int argc, char** argv) {
+  std::string manifest_path;
+  std::string out_dir;
+  psllc::results::MergeOptions options;
+  std::vector<std::filesystem::path> roots;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    }
+    if (arg == "--manifest") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "results_merge: --manifest needs a value\n");
+        return 2;
+      }
+      manifest_path = argv[++i];
+      continue;
+    }
+    if (arg == "--out") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "results_merge: --out needs a value\n");
+        return 2;
+      }
+      out_dir = argv[++i];
+      continue;
+    }
+    if (arg == "--no-csv") {
+      options.write_csv = false;
+      continue;
+    }
+    if (!arg.empty() && arg.front() == '-') {
+      std::fprintf(stderr, "results_merge: unknown flag '%s' (try --help)\n",
+                   arg.c_str());
+      return 2;
+    }
+    roots.emplace_back(arg);
+  }
+  if (manifest_path.empty() || out_dir.empty() || roots.empty()) {
+    print_usage();
+    return 2;
+  }
+
+  const psllc::sim::ShardPlan plan =
+      psllc::sim::ShardPlan::load(manifest_path);
+  std::vector<psllc::results::MergeUnit> units;
+  units.reserve(plan.units().size());
+  for (const psllc::sim::WorkUnit& unit : plan.units()) {
+    units.push_back({unit.id, unit.label(), unit.bench});
+  }
+
+  try {
+    psllc::results::merge_partial_stores(units, plan.content_hash(), roots,
+                                         out_dir, options);
+  } catch (const psllc::results::MergeError& e) {
+    std::fprintf(stderr, "results_merge: refused: %s\n", e.what());
+    return 1;
+  }
+  std::printf("results_merge: %zu work units over %zu partial store(s) "
+              "merged into %s\n",
+              plan.units().size(), roots.size(), out_dir.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "results_merge: %s\n", e.what());
+    return 2;
+  }
+}
