@@ -44,6 +44,7 @@ int run(bench::BenchContext& ctx) {
   const int accesses = ctx.pick(4000, 400);
   std::string corpus_source = "builtin";
   std::vector<CorpusSource> corpus;
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env; nothing calls setenv
   if (const char* dir = std::getenv("PSLLC_CORPUS_DIR");
       dir != nullptr && *dir != '\0') {
     corpus_source = dir;
@@ -56,6 +57,7 @@ int run(bench::BenchContext& ctx) {
   // traces touching the top of the address space select solo replay here.
   CorpusReplay replay = CorpusReplay::kMirrored;
   std::string replay_name = "mirrored";
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env; nothing calls setenv
   if (const char* env = std::getenv("PSLLC_CORPUS_REPLAY");
       env != nullptr && *env != '\0') {
     replay_name = env;

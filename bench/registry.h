@@ -69,8 +69,8 @@ int finish_bench(const BenchContext& ctx, const results::BenchResult& result);
 using BenchFn = int (*)(BenchContext&);
 
 struct BenchInfo {
-  const char* name;
-  BenchFn fn;
+  const char* name = nullptr;
+  BenchFn fn = nullptr;
   /// True when the bench implements cell-level sharding (reads
   /// BenchContext::shard_* and emits a partial store). bench_single_main
   /// rejects --shard-count on benches that do not.

@@ -20,9 +20,9 @@ constexpr char kTitle[] =
 constexpr char kReference[] = "Wu & Patel, DAC'22, Section 4.1, Figure 2";
 
 struct Variant {
-  const char* name;
-  llc::ContentionMode mode;
-  bool one_slot;
+  const char* name = nullptr;
+  llc::ContentionMode mode = llc::ContentionMode::kSetSequencer;
+  bool one_slot = true;
 };
 
 int run(bench::BenchContext& ctx) {

@@ -106,7 +106,11 @@ int TdmSchedule::distance(CoreId from, CoreId to) const {
   const int pos_from = position_of(from);
   const int pos_to = position_of(to);
   // Slots strictly after pos_from until and including to's next slot.
-  return (pos_to - pos_from + n - 1) % n + 1;
+  const int dist = (pos_to - pos_from + n - 1) % n + 1;
+  PSLLC_AUDIT(dist >= 1 && dist <= n,
+              "Definition 4.2 distance " << dist << " outside [1, " << n
+                                         << "]");
+  return dist;
 }
 
 int TdmSchedule::sharer_distance(CoreId from, CoreId to,
@@ -133,7 +137,10 @@ int TdmSchedule::sharer_distance(CoreId from, CoreId to,
   }
   PSLLC_ASSERT(rank_from >= 0, "core " << from.value << " not a sharer");
   PSLLC_ASSERT(rank_to >= 0, "core " << to.value << " not a sharer");
-  return (rank_to - rank_from + n - 1) % n + 1;
+  const int dist = (rank_to - rank_from + n - 1) % n + 1;
+  PSLLC_AUDIT(dist >= 1 && dist <= n, "sharer distance " << dist
+                                          << " outside [1, " << n << "]");
+  return dist;
 }
 
 std::string TdmSchedule::to_string() const {

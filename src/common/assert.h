@@ -1,9 +1,14 @@
-// Always-on invariant checking for the simulator.
+// Invariant checking for the simulator.
 //
 // Simulation correctness bugs silently corrupt measured latencies, so the
 // model checks its invariants in every build type. `PSLLC_ASSERT` is for
 // internal invariants (model bugs); configuration errors raised on behalf of
 // the user throw `psllc::ConfigError` instead (see check.h usage pattern).
+// `PSLLC_AUDIT` is the third tier: hot-path contracts too expensive for
+// release builds (per-request partition containment, per-slot schedule
+// bounds). Audits compile to nothing unless the build defines
+// PSLLC_AUDIT_ENABLED (the `audit` preset / -DPSLLC_AUDIT=ON), where they
+// behave exactly like PSLLC_ASSERT.
 #ifndef PSLLC_COMMON_ASSERT_H_
 #define PSLLC_COMMON_ASSERT_H_
 
@@ -31,6 +36,15 @@ namespace detail {
                                    const std::string& message);
 }  // namespace detail
 
+/// True when this build evaluates PSLLC_AUDIT checks (the `audit` preset).
+[[nodiscard]] constexpr bool audit_enabled() {
+#ifdef PSLLC_AUDIT_ENABLED
+  return true;
+#else
+  return false;
+#endif
+}
+
 }  // namespace psllc
 
 /// Always-on assertion with streamed context:
@@ -44,6 +58,23 @@ namespace detail {
                                         psllc_assert_oss_.str());        \
     }                                                                    \
   } while (false)
+
+/// Audit-tier contract: like PSLLC_ASSERT, but only evaluated when the build
+/// defines PSLLC_AUDIT_ENABLED. In other builds the condition and message
+/// are parsed (so they cannot rot) yet never evaluated, and the whole check
+/// folds away.
+#ifdef PSLLC_AUDIT_ENABLED
+#define PSLLC_AUDIT(cond, ...) PSLLC_ASSERT(cond, __VA_ARGS__)
+#else
+#define PSLLC_AUDIT(cond, ...)                    \
+  do {                                            \
+    if (false) {                                  \
+      (void)(cond);                               \
+      std::ostringstream psllc_audit_oss_;        \
+      psllc_audit_oss_ << __VA_ARGS__;            \
+    }                                             \
+  } while (false)
+#endif
 
 /// Configuration validation helper: throws ConfigError with message.
 #define PSLLC_CONFIG_CHECK(cond, ...)                    \

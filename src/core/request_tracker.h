@@ -27,6 +27,7 @@ struct RequestRecord {
   Cycle issued = kNoCycle;           ///< entered the PRB
   Cycle first_presented = kNoCycle;  ///< slot start of first bus appearance
   Cycle completed = kNoCycle;
+  // psllc-lint: allow-file(TRC-001: in-memory bookkeeping, never serialized)
   int presentations = 0;  ///< bus slots spent presenting (1 + retries)
   int writebacks_during = 0;  ///< own write-backs sent while in flight
 

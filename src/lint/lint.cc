@@ -1,0 +1,1035 @@
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace psllc::lint {
+
+namespace {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// --- source view -------------------------------------------------------------
+
+/// The scanner's working form of one file: `code` is the original text with
+/// comment and string/char-literal contents blanked to spaces (newlines and
+/// literal delimiters preserved, so offsets and line numbers are stable and
+/// tokens never merge across a removed region), plus the comment text per
+/// line for suppression directives.
+struct SourceView {
+  std::string code;
+  std::vector<std::size_t> line_starts;        ///< offset of each line
+  std::vector<std::string> comment_of_line;    ///< 0-based line -> comments
+  std::vector<bool> line_has_code;             ///< any non-blank code char
+
+  [[nodiscard]] int line_at(std::size_t offset) const {
+    const auto it = std::upper_bound(line_starts.begin(), line_starts.end(),
+                                     offset);
+    return static_cast<int>(it - line_starts.begin());  // 1-based
+  }
+  [[nodiscard]] int num_lines() const {
+    return static_cast<int>(line_starts.size());
+  }
+};
+
+SourceView build_view(std::string_view text) {
+  SourceView view;
+  view.code.assign(text.begin(), text.end());
+  view.line_starts.push_back(0);
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\n') {
+      view.line_starts.push_back(i + 1);
+    }
+  }
+  view.comment_of_line.assign(view.line_starts.size(), std::string());
+  view.line_has_code.assign(view.line_starts.size(), false);
+
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+  State state = State::kCode;
+  std::string raw_delim;  // the )delim" terminator of a raw string
+  int line = 0;           // 0-based
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    if (c == '\n') {
+      ++line;
+      if (state == State::kLineComment) {
+        state = State::kCode;
+      }
+      continue;  // newline kept in code view
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          view.code[i] = ' ';
+          view.code[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          view.code[i] = ' ';
+          view.code[i + 1] = ' ';
+          ++i;
+        } else if (c == '"' &&
+                   (i == 0 || text[i - 1] != 'R' ||
+                    (i >= 2 && is_ident_char(text[i - 2])))) {
+          state = State::kString;
+        } else if (c == '"') {
+          // R"delim( ... )delim"
+          std::size_t paren = text.find('(', i + 1);
+          if (paren == std::string_view::npos) {
+            state = State::kString;  // malformed; degrade gracefully
+          } else {
+            raw_delim = ")";
+            raw_delim.append(text.substr(i + 1, paren - i - 1));
+            raw_delim.push_back('"');
+            state = State::kRawString;
+            for (std::size_t k = i + 1; k <= paren && k < text.size(); ++k) {
+              if (text[k] != '\n') {
+                view.code[k] = ' ';
+              }
+            }
+            i = paren;
+          }
+        } else if (c == '\'' && (i == 0 || !is_ident_char(text[i - 1]))) {
+          // Apostrophe after an identifier char is a digit separator
+          // (1'000'000), not a char literal.
+          state = State::kChar;
+        } else if (!std::isspace(static_cast<unsigned char>(c))) {
+          view.line_has_code[static_cast<std::size_t>(line)] = true;
+        }
+        break;
+      case State::kLineComment:
+      case State::kBlockComment:
+        view.comment_of_line[static_cast<std::size_t>(line)].push_back(c);
+        view.code[i] = ' ';
+        if (state == State::kBlockComment && c == '*' && next == '/') {
+          view.code[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          view.code[i] = ' ';
+          if (next != '\n') {
+            view.code[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '"') {
+          state = State::kCode;
+        } else {
+          view.code[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          view.code[i] = ' ';
+          if (next != '\n') {
+            view.code[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '\'') {
+          state = State::kCode;
+        } else {
+          view.code[i] = ' ';
+        }
+        break;
+      case State::kRawString:
+        if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (std::size_t k = i; k < i + raw_delim.size() - 1; ++k) {
+            view.code[k] = ' ';
+          }
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        } else {
+          view.code[i] = ' ';
+        }
+        break;
+    }
+  }
+  return view;
+}
+
+// --- token helpers -----------------------------------------------------------
+
+/// True when code[pos..pos+word) is `word` with identifier boundaries.
+bool matches_word(const std::string& code, std::size_t pos,
+                  std::string_view word) {
+  if (code.compare(pos, word.size(), word) != 0) {
+    return false;
+  }
+  if (pos > 0 && is_ident_char(code[pos - 1])) {
+    return false;
+  }
+  const std::size_t end = pos + word.size();
+  return end >= code.size() || !is_ident_char(code[end]);
+}
+
+std::size_t skip_spaces(const std::string& code, std::size_t pos) {
+  while (pos < code.size() &&
+         std::isspace(static_cast<unsigned char>(code[pos])) != 0) {
+    ++pos;
+  }
+  return pos;
+}
+
+/// Reads the identifier starting at `pos`; empty when none.
+std::string read_ident(const std::string& code, std::size_t pos) {
+  std::size_t end = pos;
+  while (end < code.size() && is_ident_char(code[end])) {
+    ++end;
+  }
+  if (end == pos || std::isdigit(static_cast<unsigned char>(code[pos])) != 0) {
+    return std::string();
+  }
+  return code.substr(pos, end - pos);
+}
+
+/// The identifier ending immediately before `pos` (no space skipping).
+std::string ident_ending_at(const std::string& code, std::size_t pos) {
+  std::size_t begin = pos;
+  while (begin > 0 && is_ident_char(code[begin - 1])) {
+    --begin;
+  }
+  if (begin == pos ||
+      std::isdigit(static_cast<unsigned char>(code[begin])) != 0) {
+    return std::string();
+  }
+  return code.substr(begin, pos - begin);
+}
+
+/// Position one past the '>' matching the '<' at `pos` (npos when
+/// unbalanced). Treats every '<'/'>' as a bracket, which is correct in the
+/// template-argument contexts this scanner calls it from.
+std::size_t match_angle(const std::string& code, std::size_t pos) {
+  int depth = 0;
+  for (std::size_t i = pos; i < code.size(); ++i) {
+    if (code[i] == '<') {
+      ++depth;
+    } else if (code[i] == '>') {
+      if (--depth == 0) {
+        return i + 1;
+      }
+    } else if (code[i] == ';') {
+      return std::string::npos;  // statement ended; not a template list
+    }
+  }
+  return std::string::npos;
+}
+
+/// Position one past the matching closer for the opener at `pos`.
+std::size_t match_pair(const std::string& code, std::size_t pos, char open,
+                       char close) {
+  int depth = 0;
+  for (std::size_t i = pos; i < code.size(); ++i) {
+    if (code[i] == open) {
+      ++depth;
+    } else if (code[i] == close) {
+      if (--depth == 0) {
+        return i + 1;
+      }
+    }
+  }
+  return std::string::npos;
+}
+
+// --- suppression directives --------------------------------------------------
+
+struct Suppressions {
+  /// 1-based line -> (rule, reason) directives covering that line.
+  std::map<int, std::vector<std::pair<std::string, std::string>>> by_line;
+  /// rule -> reason for whole-file waivers.
+  std::map<std::string, std::string> by_file;
+};
+
+Suppressions parse_suppressions(const SourceView& view) {
+  static const std::regex directive(
+      R"(psllc-lint:\s*(allow|allow-file)\(\s*([A-Z]{3}-[0-9]{3})\s*:\s*([^)]+?)\s*\))");
+  Suppressions supp;
+  for (int l = 0; l < view.num_lines(); ++l) {
+    const std::string& comment = view.comment_of_line[static_cast<std::size_t>(l)];
+    if (comment.find("psllc-lint") == std::string::npos) {
+      continue;
+    }
+    auto begin = std::sregex_iterator(comment.begin(), comment.end(),
+                                      directive);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+      const std::string kind = (*it)[1].str();
+      const std::string rule = (*it)[2].str();
+      const std::string reason = (*it)[3].str();
+      if (kind == "allow-file") {
+        supp.by_file.emplace(rule, reason);
+        continue;
+      }
+      supp.by_line[l + 1].emplace_back(rule, reason);
+      if (!view.line_has_code[static_cast<std::size_t>(l)]) {
+        // Comment-only line: the directive covers the next line too.
+        supp.by_line[l + 2].emplace_back(rule, reason);
+      }
+    }
+  }
+  return supp;
+}
+
+void apply_suppressions(const Suppressions& supp,
+                        std::vector<Finding>& findings) {
+  for (Finding& finding : findings) {
+    const auto file_it = supp.by_file.find(finding.rule);
+    if (file_it != supp.by_file.end()) {
+      finding.suppressed = true;
+      finding.suppress_reason = file_it->second;
+      continue;
+    }
+    const auto line_it = supp.by_line.find(finding.line);
+    if (line_it == supp.by_line.end()) {
+      continue;
+    }
+    for (const auto& [rule, reason] : line_it->second) {
+      if (rule == finding.rule) {
+        finding.suppressed = true;
+        finding.suppress_reason = reason;
+        break;
+      }
+    }
+  }
+}
+
+// --- DET-001 / DET-003: unordered containers --------------------------------
+
+const char* const kUnorderedTemplates[] = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset"};
+
+/// Names of variables/members declared with an unordered container type in
+/// this file, plus type aliases (`using Foo = std::unordered_map<...>`) and
+/// the variables declared through them.
+std::set<std::string> collect_unordered_names(const std::string& code) {
+  std::set<std::string> names;
+  std::set<std::string> alias_types;
+  for (const char* tmpl : kUnorderedTemplates) {
+    const std::string_view word(tmpl);
+    for (std::size_t pos = code.find(word); pos != std::string::npos;
+         pos = code.find(word, pos + 1)) {
+      if (!matches_word(code, pos, word)) {
+        continue;
+      }
+      std::size_t after = skip_spaces(code, pos + word.size());
+      if (after >= code.size() || code[after] != '<') {
+        continue;
+      }
+      const std::size_t close = match_angle(code, after);
+      if (close == std::string::npos) {
+        continue;
+      }
+      // `using Alias = std::unordered_map<...>;` registers an alias type.
+      std::size_t before = pos;
+      while (before > 0 && (code[before - 1] == ':' ||
+                            std::isspace(static_cast<unsigned char>(
+                                code[before - 1])) != 0)) {
+        --before;
+      }
+      if (ident_ending_at(code, before) == "std") {
+        before -= 3;
+        while (before > 0 && std::isspace(static_cast<unsigned char>(
+                                 code[before - 1])) != 0) {
+          --before;
+        }
+      }
+      if (before > 0 && code[before - 1] == '=') {
+        std::size_t eq = before - 1;
+        while (eq > 0 && std::isspace(static_cast<unsigned char>(
+                             code[eq - 1])) != 0) {
+          --eq;
+        }
+        const std::string alias = ident_ending_at(code, eq);
+        if (!alias.empty()) {
+          alias_types.insert(alias);
+        }
+        continue;
+      }
+      std::size_t name_pos = skip_spaces(code, close);
+      while (name_pos < code.size() &&
+             (code[name_pos] == '&' || code[name_pos] == '*')) {
+        name_pos = skip_spaces(code, name_pos + 1);
+      }
+      if (name_pos < code.size() && matches_word(code, name_pos, "const")) {
+        name_pos = skip_spaces(code, name_pos + 5);
+      }
+      const std::string name = read_ident(code, name_pos);
+      if (!name.empty()) {
+        names.insert(name);
+      }
+    }
+  }
+  // Declarations through aliases: `Alias x;`, `const Alias& x`.
+  for (const std::string& alias : alias_types) {
+    for (std::size_t pos = code.find(alias); pos != std::string::npos;
+         pos = code.find(alias, pos + 1)) {
+      if (!matches_word(code, pos, alias)) {
+        continue;
+      }
+      std::size_t name_pos = skip_spaces(code, pos + alias.size());
+      while (name_pos < code.size() &&
+             (code[name_pos] == '&' || code[name_pos] == '*')) {
+        name_pos = skip_spaces(code, name_pos + 1);
+      }
+      const std::string name = read_ident(code, name_pos);
+      if (!name.empty() && name != alias) {
+        names.insert(name);
+      }
+    }
+  }
+  return names;
+}
+
+/// Names declared as float/double in this file (DET-003 accumulators).
+std::set<std::string> collect_float_names(const std::string& code) {
+  std::set<std::string> names;
+  for (const char* type : {"double", "float"}) {
+    const std::string_view word(type);
+    for (std::size_t pos = code.find(word); pos != std::string::npos;
+         pos = code.find(word, pos + 1)) {
+      if (!matches_word(code, pos, word)) {
+        continue;
+      }
+      const std::size_t name_pos = skip_spaces(code, pos + word.size());
+      const std::string name = read_ident(code, name_pos);
+      if (!name.empty()) {
+        names.insert(name);
+      }
+    }
+  }
+  return names;
+}
+
+/// The trailing identifier of a range-for's range expression: `m`,
+/// `obj.member_`, `this->map_`. Empty for calls and other expressions the
+/// scanner cannot attribute to a declaration.
+std::string range_expr_ident(const std::string& expr) {
+  std::size_t end = expr.size();
+  while (end > 0 &&
+         std::isspace(static_cast<unsigned char>(expr[end - 1])) != 0) {
+    --end;
+  }
+  std::size_t begin = end;
+  while (begin > 0 && is_ident_char(expr[begin - 1])) {
+    --begin;
+  }
+  if (begin == end) {
+    return std::string();
+  }
+  return expr.substr(begin, end - begin);
+}
+
+void scan_unordered(const std::string& path, const SourceView& view,
+                    std::vector<Finding>& findings) {
+  const std::string& code = view.code;
+  const std::set<std::string> unordered = collect_unordered_names(code);
+  if (unordered.empty()) {
+    return;
+  }
+  const std::set<std::string> floats = collect_float_names(code);
+
+  // Range-for over an unordered name (DET-001) + float accumulation in the
+  // loop body (DET-003).
+  for (std::size_t pos = code.find("for"); pos != std::string::npos;
+       pos = code.find("for", pos + 1)) {
+    if (!matches_word(code, pos, "for")) {
+      continue;
+    }
+    const std::size_t paren = skip_spaces(code, pos + 3);
+    if (paren >= code.size() || code[paren] != '(') {
+      continue;
+    }
+    const std::size_t paren_end = match_pair(code, paren, '(', ')');
+    if (paren_end == std::string::npos) {
+      continue;
+    }
+    const std::string inside = code.substr(paren + 1, paren_end - paren - 2);
+    // The range-for ':' at top level (':' that is not part of '::').
+    std::size_t colon = std::string::npos;
+    int depth = 0;
+    for (std::size_t i = 0; i < inside.size(); ++i) {
+      const char c = inside[i];
+      if (c == '(' || c == '<' || c == '[' || c == '{') {
+        ++depth;
+      } else if (c == ')' || c == '>' || c == ']' || c == '}') {
+        --depth;
+      } else if (c == ':' && depth == 0) {
+        if ((i + 1 < inside.size() && inside[i + 1] == ':') ||
+            (i > 0 && inside[i - 1] == ':')) {
+          continue;
+        }
+        colon = i;
+        break;
+      }
+    }
+    if (colon == std::string::npos) {
+      continue;
+    }
+    const std::string ident = range_expr_ident(inside.substr(colon + 1));
+    if (ident.empty() || !unordered.contains(ident)) {
+      continue;
+    }
+    Finding finding;
+    finding.rule = "DET-001";
+    finding.path = path;
+    finding.line = view.line_at(pos);
+    finding.message = "range-for over unordered container '" + ident +
+                      "' — iteration order is unspecified and must not "
+                      "reach emitted results";
+    findings.push_back(finding);
+
+    // DET-003 inside this loop body.
+    std::size_t body_begin = skip_spaces(code, paren_end);
+    std::size_t body_end;
+    if (body_begin < code.size() && code[body_begin] == '{') {
+      body_end = match_pair(code, body_begin, '{', '}');
+      if (body_end == std::string::npos) {
+        body_end = code.size();
+      }
+    } else {
+      body_end = code.find(';', body_begin);
+      if (body_end == std::string::npos) {
+        body_end = code.size();
+      }
+    }
+    for (std::size_t i = body_begin; i + 1 < body_end; ++i) {
+      if (code[i] != '+' || code[i + 1] != '=') {
+        continue;
+      }
+      std::size_t lhs_end = i;
+      while (lhs_end > body_begin &&
+             std::isspace(static_cast<unsigned char>(code[lhs_end - 1])) !=
+                 0) {
+        --lhs_end;
+      }
+      const std::string lhs = ident_ending_at(code, lhs_end);
+      if (lhs.empty() || !floats.contains(lhs)) {
+        continue;
+      }
+      Finding acc;
+      acc.rule = "DET-003";
+      acc.path = path;
+      acc.line = view.line_at(i);
+      acc.message = "floating-point accumulation into '" + lhs +
+                    "' inside an unordered-container loop — the sum "
+                    "depends on iteration order";
+      findings.push_back(acc);
+    }
+  }
+
+  // Explicit iterator entry points on unordered names (DET-001).
+  for (const char* member : {".begin", ".cbegin"}) {
+    const std::string_view word(member);
+    for (std::size_t pos = code.find(word); pos != std::string::npos;
+         pos = code.find(word, pos + 1)) {
+      const std::size_t after = pos + word.size();
+      if (after >= code.size() || code[after] != '(') {
+        continue;
+      }
+      const std::string ident = ident_ending_at(code, pos);
+      if (ident.empty() || !unordered.contains(ident)) {
+        continue;
+      }
+      Finding finding;
+      finding.rule = "DET-001";
+      finding.path = path;
+      finding.line = view.line_at(pos);
+      finding.message = std::string("iterator over unordered container '") +
+                        ident + "' via " + std::string(word.substr(1)) +
+                        "() — iteration order is unspecified";
+      findings.push_back(finding);
+    }
+  }
+}
+
+// --- DET-002: banned nondeterminism sources ---------------------------------
+
+void scan_banned_sources(const std::string& path, const SourceView& view,
+                         std::vector<Finding>& findings) {
+  const std::string& code = view.code;
+  const auto add = [&](std::size_t pos, const std::string& what) {
+    Finding finding;
+    finding.rule = "DET-002";
+    finding.path = path;
+    finding.line = view.line_at(pos);
+    finding.message = what + " — use the seeded generators in common/rng.h "
+                      "(results must be bit-reproducible)";
+    findings.push_back(finding);
+  };
+
+  for (const char* fn : {"rand", "srand"}) {
+    const std::string_view word(fn);
+    for (std::size_t pos = code.find(word); pos != std::string::npos;
+         pos = code.find(word, pos + 1)) {
+      if (!matches_word(code, pos, word)) {
+        continue;
+      }
+      const std::size_t after = skip_spaces(code, pos + word.size());
+      if (after < code.size() && code[after] == '(') {
+        add(pos, "call to " + std::string(word) + "()");
+      }
+    }
+  }
+  for (std::size_t pos = code.find("random_device"); pos != std::string::npos;
+       pos = code.find("random_device", pos + 1)) {
+    if (matches_word(code, pos, "random_device")) {
+      add(pos, "std::random_device is nondeterministic by definition");
+    }
+  }
+  for (std::size_t pos = code.find("time"); pos != std::string::npos;
+       pos = code.find("time", pos + 1)) {
+    if (!matches_word(code, pos, "time")) {
+      continue;
+    }
+    std::size_t after = skip_spaces(code, pos + 4);
+    if (after >= code.size() || code[after] != '(') {
+      continue;
+    }
+    after = skip_spaces(code, after + 1);
+    for (const char* arg : {"nullptr", "NULL", "0"}) {
+      const std::string_view word(arg);
+      if (matches_word(code, after, word)) {
+        const std::size_t close = skip_spaces(code, after + word.size());
+        if (close < code.size() && code[close] == ')') {
+          add(pos, "wall-clock seed time(" + std::string(word) + ")");
+        }
+        break;
+      }
+    }
+  }
+  // Pointer-value hashing/ordering: the numeric value of a pointer differs
+  // per run (ASLR, allocator), so any ordering or hash derived from it is
+  // nondeterministic.
+  for (const char* tmpl : {"hash", "less", "greater"}) {
+    const std::string find_str = std::string(tmpl);
+    for (std::size_t pos = code.find(find_str); pos != std::string::npos;
+         pos = code.find(find_str, pos + 1)) {
+      if (!matches_word(code, pos, find_str)) {
+        continue;
+      }
+      // Require std:: qualification so plain identifiers named `less` or a
+      // repo-local hash() helper do not fire.
+      if (pos < 2 || code.compare(pos - 2, 2, "::") != 0) {
+        continue;
+      }
+      const std::size_t open = skip_spaces(code, pos + find_str.size());
+      if (open >= code.size() || code[open] != '<') {
+        continue;
+      }
+      const std::size_t close = match_angle(code, open);
+      if (close == std::string::npos) {
+        continue;
+      }
+      const std::string args = code.substr(open, close - open);
+      if (args.find('*') != std::string::npos) {
+        add(pos, "std::" + std::string(tmpl) +
+                     "<T*> orders/hashes raw pointer values");
+      }
+    }
+  }
+  for (std::size_t pos = code.find("reinterpret_cast");
+       pos != std::string::npos;
+       pos = code.find("reinterpret_cast", pos + 1)) {
+    if (!matches_word(code, pos, "reinterpret_cast")) {
+      continue;
+    }
+    const std::size_t open = skip_spaces(code, pos + 16);
+    if (open >= code.size() || code[open] != '<') {
+      continue;
+    }
+    const std::size_t close = match_angle(code, open);
+    if (close == std::string::npos) {
+      continue;
+    }
+    const std::string target = code.substr(open, close - open);
+    if (target.find("uintptr_t") != std::string::npos ||
+        target.find("intptr_t") != std::string::npos) {
+      add(pos, "reinterpret_cast of a pointer to an integer exposes the "
+               "allocation address");
+    }
+  }
+}
+
+// --- CFG-001 / TRC-001: struct member scans ---------------------------------
+
+const std::set<std::string>& scalar_types() {
+  static const std::set<std::string> types = {
+      "bool",          "char",          "short",        "int",
+      "long",          "float",         "double",       "signed",
+      "unsigned",      "size_t",        "std::size_t",  "ptrdiff_t",
+      "std::ptrdiff_t", "std::int8_t",  "std::int16_t", "std::int32_t",
+      "std::int64_t",  "std::uint8_t",  "std::uint16_t", "std::uint32_t",
+      "std::uint64_t", "int8_t",        "int16_t",      "int32_t",
+      "int64_t",       "uint8_t",       "uint16_t",     "uint32_t",
+      "uint64_t",      "Cycle",         "Addr",         "LineAddr",
+      "std::uintptr_t", "std::intptr_t"};
+  return types;
+}
+
+const std::set<std::string>& nonfixed_int_types() {
+  static const std::set<std::string> types = {
+      "short", "int", "long", "signed", "unsigned", "size_t", "std::size_t",
+      "ptrdiff_t", "std::ptrdiff_t"};
+  return types;
+}
+
+/// Leading type token of a member declaration line: handles `std::` scope
+/// chains as one token; returns empty when the line does not start with an
+/// identifier. `const`/`mutable`/`volatile` qualifiers are skipped.
+std::string leading_type_token(const std::string& line) {
+  std::size_t pos = 0;
+  const auto word_at = [&](std::size_t p) {
+    std::string token;
+    while (p < line.size() && (is_ident_char(line[p]) || line.compare(p, 2, "::") == 0)) {
+      if (line.compare(p, 2, "::") == 0) {
+        token += "::";
+        p += 2;
+      } else {
+        token.push_back(line[p]);
+        ++p;
+      }
+    }
+    return token;
+  };
+  pos = line.find_first_not_of(" \t");
+  if (pos == std::string::npos) {
+    return std::string();
+  }
+  std::string token = word_at(pos);
+  while (token == "const" || token == "mutable" || token == "volatile") {
+    pos = line.find_first_not_of(" \t", pos + token.size());
+    if (pos == std::string::npos) {
+      return std::string();
+    }
+    token = word_at(pos);
+  }
+  return token;
+}
+
+bool is_trace_scope(const std::string& path, const std::string& name) {
+  const auto ends_with = [](const std::string& s, std::string_view suffix) {
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+  };
+  if (ends_with(name, "Record") || ends_with(name, "Header")) {
+    return true;
+  }
+  const std::string normalized = [&] {
+    std::string p = path;
+    std::replace(p.begin(), p.end(), '\\', '/');
+    return p;
+  }();
+  return normalized.find("src/trace/") != std::string::npos;
+}
+
+void scan_structs(const std::string& path, const SourceView& view,
+                  std::vector<Finding>& findings) {
+  const std::string& code = view.code;
+  for (std::size_t pos = code.find("struct"); pos != std::string::npos;
+       pos = code.find("struct", pos + 1)) {
+    if (!matches_word(code, pos, "struct")) {
+      continue;
+    }
+    std::size_t name_pos = skip_spaces(code, pos + 6);
+    // Skip attributes like [[nodiscard]] between keyword and name.
+    while (name_pos + 1 < code.size() && code[name_pos] == '[' &&
+           code[name_pos + 1] == '[') {
+      const std::size_t close = code.find("]]", name_pos);
+      if (close == std::string::npos) {
+        break;
+      }
+      name_pos = skip_spaces(code, close + 2);
+    }
+    const std::string name = read_ident(code, name_pos);
+    if (name.empty()) {
+      continue;  // anonymous struct or `struct {` — out of scope
+    }
+    // Find the body '{'; a ';' first means a forward declaration, a '('
+    // first means an elaborated return/param type.
+    std::size_t cursor = name_pos + name.size();
+    std::size_t body = std::string::npos;
+    for (; cursor < code.size(); ++cursor) {
+      const char c = code[cursor];
+      if (c == '{') {
+        body = cursor;
+        break;
+      }
+      if (c == ';' || c == '(' || c == ')' || c == '=') {
+        break;
+      }
+    }
+    if (body == std::string::npos) {
+      continue;
+    }
+    const std::size_t body_end = match_pair(code, body, '{', '}');
+    if (body_end == std::string::npos) {
+      continue;
+    }
+
+    // A user-declared constructor takes over initialization duties: the
+    // aggregate rule (CFG-001) only applies to constructor-less structs.
+    bool has_ctor = false;
+    for (std::size_t p = code.find(name, body); p != std::string::npos && p < body_end;
+         p = code.find(name, p + 1)) {
+      if (!matches_word(code, p, name)) {
+        continue;
+      }
+      const std::size_t after = skip_spaces(code, p + name.size());
+      if (after < code.size() && code[after] == '(') {
+        has_ctor = true;
+        break;
+      }
+    }
+
+    const bool trace_scope = is_trace_scope(path, name);
+
+    // Walk the body line by line at nesting depth 1 (members of nested
+    // structs are analyzed by their own `struct` match).
+    int depth = 0;
+    std::size_t line_begin = body;
+    for (std::size_t i = body; i < body_end; ++i) {
+      const char c = code[i];
+      if (c == '{') {
+        ++depth;
+      } else if (c == '}') {
+        --depth;
+      }
+      if (c != '\n' && i + 1 != body_end) {
+        continue;
+      }
+      const std::size_t line_end = i;
+      if (depth == 1 && line_end > line_begin) {
+        const std::string line =
+            code.substr(line_begin, line_end - line_begin);
+        // Member-declaration shape: ends in ';', is not a function or a
+        // using/static/template line.
+        const std::size_t semi = line.rfind(';');
+        if (semi != std::string::npos &&
+            line.find('(') == std::string::npos &&
+            line.find(')') == std::string::npos &&
+            line.find("using") == std::string::npos &&
+            line.find("static") == std::string::npos &&
+            line.find("template") == std::string::npos &&
+            line.find("friend") == std::string::npos) {
+          const std::string type = leading_type_token(line);
+          if (!type.empty() && type != name) {
+            const bool initialized =
+                line.find('=') != std::string::npos ||
+                line.find('{') != std::string::npos;
+            if (!has_ctor && !initialized &&
+                scalar_types().count(type) != 0) {
+              Finding finding;
+              finding.rule = "CFG-001";
+              finding.path = path;
+              finding.line = view.line_at(line_begin +
+                                          line.find_first_not_of(" \t"));
+              finding.message = "field of aggregate struct '" + name +
+                                "' has no default initializer — an "
+                                "uninitialized config field reads "
+                                "indeterminate values";
+              findings.push_back(finding);
+            }
+            if (trace_scope && nonfixed_int_types().count(type) != 0) {
+              Finding finding;
+              finding.rule = "TRC-001";
+              finding.path = path;
+              finding.line = view.line_at(line_begin +
+                                          line.find_first_not_of(" \t"));
+              finding.message = "trace-format struct '" + name +
+                                "' uses non-fixed-width integer type '" +
+                                type + "' — on-disk layouts need <cstdint> "
+                                "types";
+              findings.push_back(finding);
+            }
+          }
+        }
+      }
+      line_begin = line_end + 1;
+    }
+  }
+}
+
+}  // namespace
+
+// --- public API --------------------------------------------------------------
+
+const std::vector<RuleInfo>& rule_catalog() {
+  static const std::vector<RuleInfo> catalog = {
+      {"DET-001", "iteration over an unordered container"},
+      {"DET-002", "banned nondeterminism source (rand/time/random_device/"
+                  "pointer hashing)"},
+      {"DET-003", "order-dependent floating-point accumulation"},
+      {"CFG-001", "aggregate struct field without a default initializer"},
+      {"TRC-001", "non-fixed-width integer in a trace-format struct"},
+  };
+  return catalog;
+}
+
+std::vector<Finding> lint_source(const std::string& path,
+                                 std::string_view text) {
+  const SourceView view = build_view(text);
+  std::vector<Finding> findings;
+  scan_unordered(path, view, findings);
+  scan_banned_sources(path, view, findings);
+  scan_structs(path, view, findings);
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.line != b.line) {
+                return a.line < b.line;
+              }
+              return a.rule < b.rule;
+            });
+  apply_suppressions(parse_suppressions(view), findings);
+  return findings;
+}
+
+LintReport lint_files(const std::vector<std::filesystem::path>& files) {
+  LintReport report;
+  for (const std::filesystem::path& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      throw std::runtime_error("psllc_lint: cannot read " + file.string());
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::vector<Finding> findings =
+        lint_source(file.generic_string(), buffer.str());
+    report.findings.insert(report.findings.end(),
+                           std::make_move_iterator(findings.begin()),
+                           std::make_move_iterator(findings.end()));
+    ++report.files_scanned;
+  }
+  return report;
+}
+
+int LintReport::unsuppressed_count() const {
+  return static_cast<int>(
+      std::count_if(findings.begin(), findings.end(),
+                    [](const Finding& f) { return !f.suppressed; }));
+}
+
+int LintReport::suppressed_count() const {
+  return static_cast<int>(findings.size()) - unsuppressed_count();
+}
+
+results::Json LintReport::to_json() const {
+  results::Json root = results::Json::make_object();
+  root.set("tool", results::Json::make_string("psllc_lint"));
+  root.set("files_scanned", results::Json::make_int(files_scanned));
+  root.set("unsuppressed", results::Json::make_int(unsuppressed_count()));
+  root.set("suppressed", results::Json::make_int(suppressed_count()));
+  results::Json rules = results::Json::make_array();
+  for (const RuleInfo& info : rule_catalog()) {
+    results::Json rule = results::Json::make_object();
+    rule.set("id", results::Json::make_string(info.id));
+    rule.set("summary", results::Json::make_string(info.summary));
+    rules.push_back(std::move(rule));
+  }
+  root.set("rules", std::move(rules));
+  results::Json list = results::Json::make_array();
+  for (const Finding& finding : findings) {
+    results::Json entry = results::Json::make_object();
+    entry.set("rule", results::Json::make_string(finding.rule));
+    entry.set("file", results::Json::make_string(finding.path));
+    entry.set("line", results::Json::make_int(finding.line));
+    entry.set("message", results::Json::make_string(finding.message));
+    entry.set("suppressed", results::Json::make_bool(finding.suppressed));
+    if (finding.suppressed) {
+      entry.set("reason",
+                results::Json::make_string(finding.suppress_reason));
+    }
+    list.push_back(std::move(entry));
+  }
+  root.set("findings", std::move(list));
+  return root;
+}
+
+std::vector<std::filesystem::path> collect_tree_files(
+    const std::filesystem::path& compile_commands,
+    const std::filesystem::path& root) {
+  std::ifstream in(compile_commands, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("psllc_lint: cannot read compilation database " +
+                             compile_commands.string());
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  results::Json db;
+  try {
+    db = results::Json::parse(buffer.str());
+  } catch (const results::JsonParseError& error) {
+    throw std::runtime_error("psllc_lint: malformed compilation database " +
+                             compile_commands.string() + ": " + error.what());
+  }
+
+  const std::filesystem::path canonical_root =
+      std::filesystem::weakly_canonical(root);
+  const auto in_scope = [&](const std::filesystem::path& path) {
+    const std::filesystem::path canonical =
+        std::filesystem::weakly_canonical(path);
+    const std::string text = canonical.generic_string();
+    const std::string prefix = canonical_root.generic_string();
+    if (text.compare(0, prefix.size(), prefix) != 0) {
+      return false;
+    }
+    const std::string rel = text.substr(prefix.size());
+    return rel.rfind("/src/", 0) == 0 || rel.rfind("/bench/", 0) == 0 ||
+           rel.rfind("/tools/", 0) == 0;
+  };
+
+  std::set<std::filesystem::path> files;
+  for (const results::Json& entry : db.as_array()) {
+    const results::Json* file = entry.find("file");
+    if (file == nullptr) {
+      continue;
+    }
+    std::filesystem::path path(file->as_string());
+    if (path.is_relative()) {
+      const results::Json* dir = entry.find("directory");
+      if (dir != nullptr) {
+        path = std::filesystem::path(dir->as_string()) / path;
+      }
+    }
+    if (in_scope(path)) {
+      files.insert(std::filesystem::weakly_canonical(path));
+    }
+  }
+  // Headers are not translation units; walk the scanned directories.
+  for (const char* subdir : {"src", "bench", "tools"}) {
+    const std::filesystem::path dir = canonical_root / subdir;
+    if (!std::filesystem::is_directory(dir)) {
+      continue;
+    }
+    for (const auto& entry :
+         std::filesystem::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) {
+        continue;
+      }
+      const std::string ext = entry.path().extension().string();
+      if (ext == ".h" || ext == ".hpp") {
+        files.insert(std::filesystem::weakly_canonical(entry.path()));
+      }
+    }
+  }
+  return {files.begin(), files.end()};
+}
+
+}  // namespace psllc::lint

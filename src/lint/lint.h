@@ -1,0 +1,107 @@
+// Determinism-focused static analysis for the simulator tree (the engine
+// behind tools/psllc_lint).
+//
+// The repo's headline reproducibility claims — sharded sweeps merging
+// bit-identical to serial runs, goldens compared byte-for-byte — are
+// exactly what silent nondeterminism destroys without failing a test:
+// unordered-container iteration feeding an emitted series, a stray
+// time()/rand() call, float accumulation in an unspecified order, an
+// uninitialized config field read before first write. This pass scans the
+// sources lexically (comments and string literals are blanked first) for
+// simulator-specific hazard patterns:
+//
+//   DET-001  iteration over std::unordered_{map,set,multimap,multiset}
+//            (range-for or .begin()/.cbegin()) — iteration order is
+//            unspecified and varies across libstdc++ versions, so any such
+//            loop on a path feeding results/series/store emission is a
+//            reproducibility bug.
+//   DET-002  banned nondeterminism sources: rand()/srand()/std::rand,
+//            std::random_device, time(nullptr)/time(NULL)/time(0),
+//            pointer-value hashing/ordering (std::hash<T*>, std::less<T*>,
+//            reinterpret_cast to [u]intptr_t). Workload synthesis must go
+//            through common/rng.h (seeded, portable streams).
+//   DET-003  floating-point accumulation (+= on a float/double) inside an
+//            unordered-container loop — the sum depends on iteration order.
+//   CFG-001  scalar field of a constructor-less (aggregate) struct without
+//            a default member initializer — a forgotten field in one of
+//            the config/POD structs reads indeterminate values and
+//            poisons results without crashing.
+//   TRC-001  non-fixed-width integer member (int/long/unsigned/size_t/...)
+//            in a trace-format struct (struct named *Record/*Header, or
+//            any struct under src/trace/) — on-disk layouts must use
+//            <cstdint> fixed-width types.
+//
+// Findings are suppressed in place with a written reason:
+//   code();  // psllc-lint: allow(DET-001: order-insensitive max-reduce)
+// A directive suppresses its own line; a directive on a comment-only line
+// also covers the line directly below it. `allow-file(RULE: reason)`
+// suppresses the rule for the whole file. Reasons are mandatory — a
+// directive without one suppresses nothing.
+//
+// The analysis is lexical by design: it has no false-negative ambitions
+// beyond its patterns, but it runs in milliseconds over the whole tree,
+// needs no compiler integration, and every rule is precise enough that a
+// finding is either a bug or a one-line suppression with a reason the
+// reviewer can audit. tests/lint_fixtures/ pins each rule's behavior.
+#ifndef PSLLC_LINT_LINT_H_
+#define PSLLC_LINT_LINT_H_
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "results/json.h"
+
+namespace psllc::lint {
+
+/// One rule hit at a source location. Suppressed findings are retained
+/// (with their reason) so reports can show what was waived and why.
+struct Finding {
+  std::string rule;             ///< "DET-001", ...
+  std::string path;             ///< file as given to the scanner
+  int line = 0;                 ///< 1-based
+  std::string message;          ///< what fired and why it matters
+  bool suppressed = false;      ///< matched an allow() directive
+  std::string suppress_reason;  ///< the directive's written reason
+};
+
+/// All findings over a set of files.
+struct LintReport {
+  std::vector<Finding> findings;
+  int files_scanned = 0;
+
+  [[nodiscard]] int unsuppressed_count() const;
+  [[nodiscard]] int suppressed_count() const;
+  /// Machine-readable report (schema documented in README).
+  [[nodiscard]] results::Json to_json() const;
+};
+
+/// The rule catalog (id + one-line description), e.g. for --rules output.
+struct RuleInfo {
+  const char* id = nullptr;
+  const char* summary = nullptr;
+};
+[[nodiscard]] const std::vector<RuleInfo>& rule_catalog();
+
+/// Lints one in-memory source. `path` is used for reporting and for the
+/// TRC-001 trace-directory scope.
+[[nodiscard]] std::vector<Finding> lint_source(const std::string& path,
+                                               std::string_view text);
+
+/// Lints files from disk. Throws std::runtime_error on an unreadable file.
+[[nodiscard]] LintReport lint_files(
+    const std::vector<std::filesystem::path>& files);
+
+/// The tree-scan file set: every compile_commands.json translation unit
+/// under `root`/{src,bench,tools}, plus every *.h/*.hpp found by walking
+/// those directories (headers are not TUs but hold most of this repo's
+/// code). Sorted, deduplicated. Throws std::runtime_error when the
+/// compilation database is missing or malformed.
+[[nodiscard]] std::vector<std::filesystem::path> collect_tree_files(
+    const std::filesystem::path& compile_commands,
+    const std::filesystem::path& root);
+
+}  // namespace psllc::lint
+
+#endif  // PSLLC_LINT_LINT_H_

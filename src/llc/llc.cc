@@ -153,6 +153,9 @@ RequestOutcome PartitionedLlc::handle_request(CoreId core, LineAddr line,
   const int pid = partition_of_checked(core);
   const PartitionSpec& spec = partitions_.spec(pid);
   const int pset = spec.map_set(line);
+  PSLLC_AUDIT(spec.contains_set(pset),
+              "mapped set " << pset << " escapes partition " << pid << " "
+                            << spec.to_string());
   const SetKey key{pid, pset};
   mem::CacheSet& set = set_at(pset);
 
@@ -195,6 +198,9 @@ RequestOutcome PartitionedLlc::handle_request(CoreId core, LineAddr line,
     if (find_free_way(spec, pset) >= 0 && may_allocate(key, core) &&
         find_way_raw(spec, pset, line) < 0) {
       const int way = find_free_way(spec, pset);
+      PSLLC_AUDIT(spec.contains_way(way),
+                  "allocated way " << way << " escapes partition " << pid
+                                   << " " << spec.to_string());
       set.insert(line, way, mem::LineState::kClean);
       directory_.add_sharer(line, core);
       // Fetch from the backing store; latency is absorbed by the slot
@@ -249,6 +255,9 @@ RequestOutcome PartitionedLlc::handle_request(CoreId core, LineAddr line,
     }
     const int victim = set.select_victim(eligible);
     PSLLC_ASSERT(victim >= 0, "victim selection failed with eligible ways");
+    PSLLC_AUDIT(spec.contains_way(victim),
+                "victim way " << victim << " escapes partition " << pid << " "
+                              << spec.to_string());
     const LineAddr victim_line = set.way(victim).line;
     const std::vector<CoreId> owners = directory_.sharers(victim_line);
     ++stats_.evictions_started;

@@ -177,6 +177,9 @@ Cycle WriteQueueBackend::service_write(LineAddr /*line*/, Cycle now) {
   // The background server retires one write per period, starting when the
   // previous drain finishes (or immediately on an idle queue).
   queue_.push_back(std::max(now, server_free) + config_.wq_drain_period);
+  PSLLC_AUDIT(static_cast<int>(queue_.size()) <= config_.wq_capacity,
+              "write queue depth " << queue_.size() << " exceeds capacity "
+                                   << config_.wq_capacity);
   ++counters_.queued_writes;
   counters_.max_queue_depth = std::max(
       counters_.max_queue_depth, static_cast<std::int64_t>(queue_.size()));

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "common/assert.h"
 #include "common/string_util.h"
 
 namespace psllc::results {
@@ -30,11 +31,16 @@ void set_shard_provenance(RunMeta& meta, const std::string& manifest_hash,
 void set_shard_rows(RunMeta& meta, const std::string& series,
                     const std::vector<std::size_t>& ordinals) {
   std::string joined;
-  for (const std::size_t ordinal : ordinals) {
+  for (std::size_t i = 0; i < ordinals.size(); ++i) {
+    PSLLC_AUDIT(i == 0 || ordinals[i - 1] < ordinals[i],
+                "shard rows for series '"
+                    << series << "' not strictly increasing at index " << i
+                    << " (" << ordinals[i - 1] << " -> " << ordinals[i]
+                    << ")");
     if (!joined.empty()) {
       joined.push_back(',');
     }
-    joined += std::to_string(ordinal);
+    joined += std::to_string(ordinals[i]);
   }
   meta.set_param(std::string(kShardRowsPrefix) + series, joined);
 }
@@ -303,7 +309,7 @@ std::vector<BenchResult> merge_partial_results(
     }
   }
   for (const MergeUnit& unit : expected_units) {
-    if (claimed.find(unit.id) == claimed.end()) {
+    if (!claimed.contains(unit.id)) {
       throw MergeError("missing work unit " + unit.id + " (" + unit.label +
                        "): no partial store covers it");
     }

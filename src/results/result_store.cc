@@ -435,6 +435,7 @@ std::filesystem::path resolve_results_root(const std::string& explicit_dir) {
   if (!explicit_dir.empty()) {
     return explicit_dir;
   }
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env; nothing calls setenv
   if (const char* env = std::getenv("PSLLC_RESULTS_DIR");
       env != nullptr && *env != '\0') {
     return env;
@@ -444,6 +445,7 @@ std::filesystem::path resolve_results_root(const std::string& explicit_dir) {
 
 std::string current_commit_id() {
   for (const char* var : {"PSLLC_GIT_COMMIT", "GITHUB_SHA"}) {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env; nothing calls setenv
     if (const char* env = std::getenv(var); env != nullptr && *env != '\0') {
       return env;
     }

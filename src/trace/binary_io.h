@@ -16,6 +16,7 @@ namespace psllc::trace {
 struct BinaryWriteOptions {
   /// Record address width in bits: 32, 64, or 0 to pick automatically
   /// (32-bit records when every address fits, else 64-bit).
+  // psllc-lint: allow(TRC-001: writer API option, not an on-disk layout)
   int addr_width_bits = 0;
 };
 

@@ -41,7 +41,7 @@ inline constexpr char kBinaryTraceExtension[] = ".pslt";
 /// Decoded header fields (magic and reserved bytes are validated away).
 struct TraceHeader {
   std::uint16_t version = kFormatVersion;
-  int addr_width_bits = 64;  ///< 32 or 64
+  std::int32_t addr_width_bits = 64;  ///< 32 or 64
   std::uint64_t op_count = 0;
 };
 

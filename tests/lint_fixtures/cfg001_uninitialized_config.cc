@@ -1,0 +1,35 @@
+// Fixture: CFG-001 — config/POD struct fields without initializers. A
+// default-constructed config with indeterminate fields is a latent source
+// of run-to-run divergence (and UB once read).
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+struct SweepConfig {
+  int num_cores;             // LINT-EXPECT: CFG-001
+  std::int64_t horizon;      // LINT-EXPECT: CFG-001
+  bool verbose;              // LINT-EXPECT: CFG-001
+  double miss_ratio;         // LINT-EXPECT: CFG-001
+  const char* label;         // LINT-EXPECT: CFG-001
+  std::string name;          // non-scalar: default ctor, not flagged
+  std::vector<int> ways;     // non-scalar: default ctor, not flagged
+};
+
+// Every field initialized: nothing to flag.
+struct GoodConfig {
+  int num_cores = 4;
+  std::int64_t horizon = 0;
+  bool verbose = false;
+};
+
+// A user-declared constructor takes over initialization; the member-line
+// heuristic would be wrong here, so the rule stays quiet.
+struct CtorConfig {
+  CtorConfig() : num_cores(1), horizon(0) {}
+  int num_cores;
+  std::int64_t horizon;
+};
+
+}  // namespace fixture

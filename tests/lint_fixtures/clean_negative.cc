@@ -1,0 +1,55 @@
+// Fixture: negative case — deterministic idioms the linter must NOT flag,
+// plus one real violation that is suppressed with a reason. A scan of this
+// file must report zero unsuppressed findings.
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+// Ordered containers iterate deterministically.
+double emit_ordered(const std::map<std::string, double>& rows) {
+  double total = 0.0;
+  for (const auto& [name, value] : rows) {
+    total += value;
+  }
+  return total;
+}
+
+int ordered_first(const std::set<int>& lines) { return *lines.begin(); }
+
+// Unordered lookup (no iteration) is fine.
+bool has_line(const std::unordered_map<std::uint64_t, int>& index,
+              std::uint64_t line) {
+  return index.find(line) != index.end();
+}
+
+// Fully initialized config struct.
+struct CleanConfig {
+  int num_cores = 4;
+  std::int64_t horizon = 1000;
+  bool verbose = false;
+};
+
+// Fixed-width record layout.
+struct CleanRecord {
+  std::uint64_t addr = 0;
+  std::uint32_t gap = 0;
+  std::uint8_t kind = 0;
+};
+
+// A genuine DET-001 hit, suppressed with a reason: counting elements does
+// not depend on iteration order.
+int count_even(const std::unordered_map<int, int>& hits) {
+  int n = 0;
+  // psllc-lint: allow(DET-001: order-independent count, result is a sum)
+  for (const auto& [key, value] : hits) {
+    n += (value % 2 == 0) ? 1 : 0;
+  }
+  return n;
+}
+
+}  // namespace fixture

@@ -1,0 +1,39 @@
+// Fixture: DET-001 — iteration over unordered containers. Each violating
+// line carries a "LINT-EXPECT: <rule>" marker; tests/test_lint.cc compares
+// the scanner's findings against these markers. This file is never
+// compiled — it only has to look like the real thing to the lexer.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+struct SeriesSink {
+  void add_row(double value);
+};
+
+double emit_counts(const std::unordered_map<std::string, int>& hits,
+                   SeriesSink& sink) {
+  double total = 0;
+  for (const auto& [name, count] : hits) {  // LINT-EXPECT: DET-001
+    sink.add_row(count);
+  }
+  return total;
+}
+
+int first_line(const std::unordered_set<int>& lines) {
+  return *lines.begin();  // LINT-EXPECT: DET-001
+}
+
+using LineSet = std::unordered_set<long long>;
+
+int alias_iteration(const LineSet& touched) {
+  int n = 0;
+  for (long long line : touched) {  // LINT-EXPECT: DET-001
+    n += static_cast<int>(line & 1);
+  }
+  return n;
+}
+
+}  // namespace fixture

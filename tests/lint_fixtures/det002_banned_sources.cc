@@ -1,0 +1,42 @@
+// Fixture: DET-002 — banned nondeterminism sources. Simulator results must
+// be a pure function of the config and seed; wall-clock time, libc rand,
+// hardware entropy, and pointer-value ordering all break replay.
+#include <cstdint>
+#include <cstdlib>
+#include <ctime>
+#include <functional>
+#include <map>
+#include <random>
+#include <set>
+
+namespace fixture {
+
+int libc_random_draw() {
+  std::srand(42);                    // LINT-EXPECT: DET-002
+  return std::rand();                // LINT-EXPECT: DET-002
+}
+
+std::uint64_t entropy_seed() {
+  std::random_device dev;            // LINT-EXPECT: DET-002
+  return dev();
+}
+
+std::int64_t wall_clock_seed() {
+  return std::time(nullptr);         // LINT-EXPECT: DET-002
+}
+
+struct Node {
+  int payload = 0;
+};
+
+using NodeOrder = std::set<Node*, std::less<Node*>>;  // LINT-EXPECT: DET-002
+
+std::size_t pointer_identity(const Node* node) {
+  return std::hash<const Node*>{}(node);  // LINT-EXPECT: DET-002
+}
+
+std::uintptr_t pointer_key(const Node* node) {
+  return reinterpret_cast<std::uintptr_t>(node);  // LINT-EXPECT: DET-002
+}
+
+}  // namespace fixture

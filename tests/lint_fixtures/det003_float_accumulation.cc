@@ -1,0 +1,38 @@
+// Fixture: DET-003 — floating-point accumulation in unordered iteration
+// order. FP addition is not associative, so summing over an unordered
+// container yields run-to-run differences in the low bits.
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+double unordered_sum(const std::unordered_map<std::string, double>& weights) {
+  double total = 0.0;
+  for (const auto& [name, weight] : weights) {  // LINT-EXPECT: DET-001
+    total += weight;  // LINT-EXPECT: DET-003
+  }
+  return total;
+}
+
+float nested_accumulate(
+    const std::unordered_map<int, std::vector<float>>& buckets) {
+  float acc = 0.0F;
+  for (const auto& [key, values] : buckets) {  // LINT-EXPECT: DET-001
+    for (float value : values) {
+      acc += value;  // LINT-EXPECT: DET-003
+    }
+  }
+  return acc;
+}
+
+// Ordered iteration is fine: accumulation over a vector is deterministic.
+double ordered_sum(const std::vector<double>& values) {
+  double total = 0.0;
+  for (double value : values) {
+    total += value;
+  }
+  return total;
+}
+
+}  // namespace fixture

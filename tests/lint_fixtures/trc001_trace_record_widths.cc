@@ -1,0 +1,29 @@
+// Fixture: TRC-001 — non-fixed-width integers in trace-format records.
+// Structs whose names end in Record or Header describe on-disk layout;
+// `int`/`long`/`size_t` members make the format ABI-dependent.
+#include <cstddef>
+#include <cstdint>
+
+namespace fixture {
+
+struct SampleRecord {
+  std::uint64_t addr = 0;
+  int gap = 0;            // LINT-EXPECT: TRC-001
+  unsigned flags = 0;     // LINT-EXPECT: TRC-001
+  long sequence = 0;      // LINT-EXPECT: TRC-001
+  std::uint8_t kind = 0;
+};
+
+struct SampleHeader {
+  std::uint32_t magic = 0;
+  std::size_t record_count = 0;  // LINT-EXPECT: TRC-001
+  std::uint16_t version = 0;
+};
+
+// Not a Record/Header and not under src/trace/: plain ints are fine here.
+struct RuntimeCounters {
+  int hits = 0;
+  long misses = 0;
+};
+
+}  // namespace fixture

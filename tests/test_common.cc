@@ -56,6 +56,24 @@ TEST(Assert, ConfigCheckThrowsConfigError) {
   EXPECT_THROW(PSLLC_CONFIG_CHECK(false, "bad config"), ConfigError);
 }
 
+// PSLLC_AUDIT evaluates (and can throw) only in audit builds; elsewhere the
+// condition must not even be evaluated.
+TEST(Assert, AuditMatchesBuildMode) {
+  int evaluations = 0;
+  auto probe = [&evaluations]() {
+    ++evaluations;
+    return true;
+  };
+  PSLLC_AUDIT(probe(), "side-effect probe");
+  EXPECT_EQ(evaluations, audit_enabled() ? 1 : 0);
+  if (audit_enabled()) {
+    EXPECT_THROW(PSLLC_AUDIT(false, "audit fires in audit builds"),
+                 AssertionError);
+  } else {
+    EXPECT_NO_THROW(PSLLC_AUDIT(false, "compiled out"));
+  }
+}
+
 // --- RNG --------------------------------------------------------------------
 
 TEST(Rng, DeterministicForSameSeed) {

@@ -1,0 +1,244 @@
+// Tests for the determinism linter (src/lint). The fixtures under
+// tests/lint_fixtures/ carry "LINT-EXPECT: <rule>" markers on every line
+// that must produce a finding; the tests compare the scanner's output
+// against those markers, so expectations live next to the code they pin.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint/lint.h"
+
+#ifndef PSLLC_LINT_FIXTURE_DIR
+#error "PSLLC_LINT_FIXTURE_DIR must be defined by the build"
+#endif
+
+namespace psllc::lint {
+namespace {
+
+std::filesystem::path fixture_path(const std::string& name) {
+  return std::filesystem::path(PSLLC_LINT_FIXTURE_DIR) / name;
+}
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << "missing fixture: " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// (line, rule) pairs from "LINT-EXPECT: RULE" markers, 1-based lines.
+std::set<std::pair<int, std::string>> expected_markers(
+    const std::string& text) {
+  std::set<std::pair<int, std::string>> out;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string tag = "LINT-EXPECT:";
+    auto pos = line.find(tag);
+    while (pos != std::string::npos) {
+      auto start = pos + tag.size();
+      while (start < line.size() && line[start] == ' ') ++start;
+      std::string rule = line.substr(start, 7);  // "XXX-NNN"
+      const bool well_formed =
+          rule.size() == 7 && rule[3] == '-' &&
+          std::all_of(rule.begin(), rule.begin() + 3,
+                      [](unsigned char c) { return std::isupper(c); }) &&
+          std::all_of(rule.begin() + 4, rule.end(),
+                      [](unsigned char c) { return std::isdigit(c); });
+      if (well_formed) out.emplace(lineno, std::move(rule));
+      pos = line.find(tag, start);
+    }
+  }
+  return out;
+}
+
+// Runs the linter on a fixture and checks findings == markers, both ways.
+void check_fixture(const std::string& name) {
+  const auto path = fixture_path(name);
+  const std::string text = read_file(path);
+  const auto expected = expected_markers(text);
+  ASSERT_FALSE(expected.empty()) << name << " has no LINT-EXPECT markers";
+
+  std::set<std::pair<int, std::string>> actual;
+  for (const Finding& f : lint_source(path.string(), text)) {
+    EXPECT_FALSE(f.suppressed) << name << ":" << f.line << " " << f.rule;
+    actual.emplace(f.line, f.rule);
+  }
+  for (const auto& [line, rule] : expected) {
+    EXPECT_TRUE(actual.count({line, rule}))
+        << name << ":" << line << " expected " << rule << " but it did not "
+        << "fire";
+  }
+  for (const auto& [line, rule] : actual) {
+    EXPECT_TRUE(expected.count({line, rule}))
+        << name << ":" << line << " unexpected " << rule;
+  }
+}
+
+TEST(LintFixtures, Det001UnorderedIteration) {
+  check_fixture("det001_unordered_iteration.cc");
+}
+
+TEST(LintFixtures, Det002BannedSources) {
+  check_fixture("det002_banned_sources.cc");
+}
+
+TEST(LintFixtures, Det003FloatAccumulation) {
+  check_fixture("det003_float_accumulation.cc");
+}
+
+TEST(LintFixtures, Cfg001UninitializedConfig) {
+  check_fixture("cfg001_uninitialized_config.cc");
+}
+
+TEST(LintFixtures, Trc001TraceRecordWidths) {
+  check_fixture("trc001_trace_record_widths.cc");
+}
+
+// The negative fixture must produce zero unsuppressed findings; its one
+// deliberate DET-001 hit must come back suppressed, reason intact.
+TEST(LintFixtures, CleanNegativeIsClean) {
+  const auto path = fixture_path("clean_negative.cc");
+  const auto findings = lint_source(path.string(), read_file(path));
+  std::vector<Finding> unsuppressed;
+  std::vector<Finding> suppressed;
+  for (const Finding& f : findings) {
+    (f.suppressed ? suppressed : unsuppressed).push_back(f);
+  }
+  for (const Finding& f : unsuppressed) {
+    ADD_FAILURE() << "unexpected finding " << f.rule << " at line " << f.line
+                  << ": " << f.message;
+  }
+  ASSERT_EQ(suppressed.size(), 1u);
+  EXPECT_EQ(suppressed[0].rule, "DET-001");
+  EXPECT_NE(suppressed[0].suppress_reason.find("order-independent count"),
+            std::string::npos);
+}
+
+// --- suppression semantics ---------------------------------------------------
+
+constexpr char kPath[] = "snippet.cc";
+
+TEST(LintSuppression, SameLineDirective) {
+  const auto findings = lint_source(
+      kPath,
+      "#include <cstdlib>\n"
+      "int f() { return rand(); }  // psllc-lint: allow(DET-002: test)\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_TRUE(findings[0].suppressed);
+  EXPECT_EQ(findings[0].suppress_reason, "test");
+}
+
+TEST(LintSuppression, CommentOnlyLineCoversNextLine) {
+  const auto findings = lint_source(
+      kPath,
+      "// psllc-lint: allow(DET-002: fixture seed)\n"
+      "int f() { return rand(); }\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_TRUE(findings[0].suppressed);
+}
+
+TEST(LintSuppression, DirectiveOnCodeLineDoesNotCoverNextLine) {
+  const auto findings = lint_source(
+      kPath,
+      "int g = 0;  // psllc-lint: allow(DET-002: only this line)\n"
+      "int f() { return rand(); }\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_FALSE(findings[0].suppressed);
+}
+
+TEST(LintSuppression, AllowFileCoversWholeFile) {
+  const auto findings = lint_source(
+      kPath,
+      "// psllc-lint: allow-file(DET-002: generator fixture)\n"
+      "int f() { return rand(); }\n"
+      "int g() { return rand(); }\n");
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_TRUE(findings[0].suppressed);
+  EXPECT_TRUE(findings[1].suppressed);
+}
+
+TEST(LintSuppression, MissingReasonDoesNotSuppress) {
+  const auto findings = lint_source(
+      kPath,
+      "int f() { return rand(); }  // psllc-lint: allow(DET-002:)\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_FALSE(findings[0].suppressed);
+}
+
+TEST(LintSuppression, WrongRuleDoesNotSuppress) {
+  const auto findings = lint_source(
+      kPath,
+      "int f() { return rand(); }  // psllc-lint: allow(DET-001: wrong)\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_FALSE(findings[0].suppressed);
+}
+
+// --- report plumbing ---------------------------------------------------------
+
+TEST(LintReportTest, CountsAndJsonShape) {
+  const std::vector<std::filesystem::path> files = {
+      fixture_path("det002_banned_sources.cc"),
+      fixture_path("clean_negative.cc"),
+  };
+  const LintReport report = lint_files(files);
+  EXPECT_EQ(report.files_scanned, 2);
+  EXPECT_GT(report.unsuppressed_count(), 0);
+  EXPECT_EQ(report.suppressed_count(), 1);
+  EXPECT_EQ(static_cast<int>(report.findings.size()),
+            report.unsuppressed_count() + report.suppressed_count());
+
+  const results::Json doc = results::Json::parse(report.to_json().dump());
+  EXPECT_EQ(doc.at("tool").as_string(), "psllc_lint");
+  EXPECT_EQ(doc.at("files_scanned").as_int(), 2);
+  EXPECT_EQ(doc.at("unsuppressed").as_int(), report.unsuppressed_count());
+  EXPECT_EQ(doc.at("suppressed").as_int(), 1);
+  EXPECT_EQ(doc.at("rules").as_array().size(), rule_catalog().size());
+  const auto& findings = doc.at("findings").as_array();
+  ASSERT_EQ(static_cast<int>(findings.size()),
+            static_cast<int>(report.findings.size()));
+  for (const auto& f : findings) {
+    EXPECT_FALSE(f.at("rule").as_string().empty());
+    EXPECT_FALSE(f.at("file").as_string().empty());
+    EXPECT_GT(f.at("line").as_int(), 0);
+    EXPECT_FALSE(f.at("message").as_string().empty());
+    if (f.at("suppressed").as_bool()) {
+      EXPECT_FALSE(f.at("reason").as_string().empty());
+    }
+  }
+}
+
+TEST(LintReportTest, RuleCatalogIsComplete) {
+  std::set<std::string> ids;
+  for (const RuleInfo& info : rule_catalog()) {
+    ids.insert(info.id);
+    EXPECT_NE(info.summary, nullptr);
+  }
+  const std::set<std::string> expected = {"DET-001", "DET-002", "DET-003",
+                                          "CFG-001", "TRC-001"};
+  EXPECT_EQ(ids, expected);
+}
+
+// Strings and comments must not trip token rules.
+TEST(LintEngine, BannedTokensInLiteralsAndCommentsIgnored) {
+  const auto findings = lint_source(
+      kPath,
+      "// rand() and time(nullptr) in a comment\n"
+      "const char* kMsg = \"calls rand() and std::random_device\";\n"
+      "/* block: srand(1); */\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+}  // namespace
+}  // namespace psllc::lint

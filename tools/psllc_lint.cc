@@ -1,0 +1,130 @@
+// psllc_lint — determinism-focused static analysis over the simulator tree.
+//
+// Tree scan (the CI `lint` job and the `lint_tree` CTest):
+//   psllc_lint --compile-commands build/compile_commands.json --root .
+// scans every src/, bench/ and tools/ translation unit named in the
+// compilation database plus every header under those directories.
+//
+// Explicit files (fixtures, pre-commit spot checks):
+//   psllc_lint tests/lint_fixtures/det001_unordered_iteration.cc
+//
+// Exit codes: 0 = no unsuppressed findings, 1 = unsuppressed findings,
+// 2 = usage/environment error. `--json <path>` additionally writes the
+// machine-readable report (schema: README "Static analysis & determinism").
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [options] [files...]\n"
+      << "  --compile-commands <path>  scan the tree named by a compilation\n"
+      << "                             database (src/, bench/, tools/ only)\n"
+      << "  --root <dir>               repository root for the tree scan\n"
+      << "                             (default: current directory)\n"
+      << "  --json <path>              write the machine-readable report\n"
+      << "  --rules                    print the rule catalog and exit\n"
+      << "Explicit file arguments are linted as-is (fixture mode).\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string compile_commands;
+  std::string root = ".";
+  std::string json_out;
+  std::vector<std::filesystem::path> files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << argv[0] << ": " << flag << " needs a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--compile-commands") {
+      const char* v = value("--compile-commands");
+      if (v == nullptr) {
+        return 2;
+      }
+      compile_commands = v;
+    } else if (arg == "--root") {
+      const char* v = value("--root");
+      if (v == nullptr) {
+        return 2;
+      }
+      root = v;
+    } else if (arg == "--json") {
+      const char* v = value("--json");
+      if (v == nullptr) {
+        return 2;
+      }
+      json_out = v;
+    } else if (arg == "--rules") {
+      for (const psllc::lint::RuleInfo& info : psllc::lint::rule_catalog()) {
+        std::cout << info.id << "  " << info.summary << "\n";
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << argv[0] << ": unknown option " << arg << "\n";
+      return usage(argv[0]);
+    } else {
+      files.emplace_back(arg);
+    }
+  }
+
+  if (files.empty() && compile_commands.empty()) {
+    std::cerr << argv[0]
+              << ": need --compile-commands or explicit file arguments\n";
+    return usage(argv[0]);
+  }
+
+  psllc::lint::LintReport report;
+  try {
+    if (!compile_commands.empty()) {
+      const std::vector<std::filesystem::path> tree =
+          psllc::lint::collect_tree_files(compile_commands, root);
+      files.insert(files.end(), tree.begin(), tree.end());
+    }
+    report = psllc::lint::lint_files(files);
+  } catch (const std::exception& error) {
+    std::cerr << error.what() << "\n";
+    return 2;
+  }
+
+  for (const psllc::lint::Finding& finding : report.findings) {
+    if (finding.suppressed) {
+      std::cout << finding.path << ":" << finding.line << ": "
+                << finding.rule << " suppressed (" << finding.suppress_reason
+                << ")\n";
+    } else {
+      std::cout << finding.path << ":" << finding.line << ": "
+                << finding.rule << " " << finding.message << "\n";
+    }
+  }
+  std::cout << "psllc_lint: " << report.files_scanned << " files, "
+            << report.unsuppressed_count() << " unsuppressed finding(s), "
+            << report.suppressed_count() << " suppressed\n";
+
+  if (!json_out.empty()) {
+    std::ofstream out(json_out, std::ios::binary);
+    if (!out) {
+      std::cerr << argv[0] << ": cannot write " << json_out << "\n";
+      return 2;
+    }
+    out << report.to_json().dump() << "\n";
+  }
+  return report.unsuppressed_count() == 0 ? 0 : 1;
+}
