@@ -100,63 +100,49 @@ const BenchInfo* find_bench(const std::string& name) {
 
 namespace {
 
-const char* flag_value(int argc, char** argv, int i, const char* flag) {
-  PSLLC_CONFIG_CHECK(i + 1 < argc, flag << " needs a value");
-  return argv[i + 1];
-}
-
 int parse_positive_int(const char* text, const char* flag) {
-  const auto parsed = parse_i64(text);
-  PSLLC_CONFIG_CHECK(parsed.has_value() && *parsed >= 0 && *parsed <= 4096,
-                     flag << " needs an integer in [0, 4096], got '" << text
-                          << "'");
-  return static_cast<int>(*parsed);
+  return static_cast<int>(cli::parse_int_in(text, flag, 0, 4096));
 }
 
 }  // namespace
 
-int parse_common_flag(int argc, char** argv, int i, BenchContext& ctx) {
-  const std::string arg = argv[i];
+bool parse_common_flag(cli::ArgCursor& args, BenchContext& ctx) {
+  const std::string arg = args.arg();
   if (arg == "--threads") {
-    ctx.threads = parse_positive_int(flag_value(argc, argv, i, "--threads"),
-                                     "--threads");
-    return 2;
+    ctx.threads = parse_positive_int(args.value(), "--threads");
+    return true;
   }
   if (arg == "--profile") {
-    ctx.profile =
-        profile_from_string(flag_value(argc, argv, i, "--profile"));
-    return 2;
+    ctx.profile = profile_from_string(args.value());
+    return true;
   }
   if (arg == "--results-dir") {
-    ctx.results_root =
-        results::resolve_results_root(
-            flag_value(argc, argv, i, "--results-dir"));
-    return 2;
+    ctx.results_root = results::resolve_results_root(args.value());
+    return true;
   }
   if (arg == "--no-csv") {
     ctx.write_csv = false;
-    return 1;
+    args.advance();
+    return true;
   }
   if (arg == "--shard-index") {
-    ctx.shard_index = parse_positive_int(
-        flag_value(argc, argv, i, "--shard-index"), "--shard-index");
+    ctx.shard_index = parse_positive_int(args.value(), "--shard-index");
     if (ctx.shard_count == 0) {
       ctx.shard_count = 1;  // sharded mode even before --shard-count parses
     }
-    return 2;
+    return true;
   }
   if (arg == "--shard-count") {
-    ctx.shard_count = parse_positive_int(
-        flag_value(argc, argv, i, "--shard-count"), "--shard-count");
+    ctx.shard_count = parse_positive_int(args.value(), "--shard-count");
     PSLLC_CONFIG_CHECK(ctx.shard_count >= 1,
                        "--shard-count needs an integer >= 1");
-    return 2;
+    return true;
   }
   if (arg == "--manifest") {
-    ctx.manifest_path = flag_value(argc, argv, i, "--manifest");
-    return 2;
+    ctx.manifest_path = args.value();
+    return true;
   }
-  return 0;
+  return false;
 }
 
 const char* common_flags_help() {
@@ -177,20 +163,16 @@ int bench_single_main(int argc, char** argv) {
   const BenchInfo& bench = benches.front();
   BenchContext ctx;
   try {
-    for (int i = 1; i < argc;) {
-      const std::string arg = argv[i];
-      if (arg == "--help" || arg == "-h") {
+    cli::ArgCursor args(bench.name, argc, argv);
+    while (!args.done()) {
+      if (args.is_help()) {
         std::printf("usage: %s [options]\n%s", bench.name,
                     common_flags_help());
         return 0;
       }
-      const int consumed = parse_common_flag(argc, argv, i, ctx);
-      if (consumed == 0) {
-        std::fprintf(stderr, "%s: unknown flag '%s' (try --help)\n",
-                     bench.name, arg.c_str());
-        return 2;
+      if (!parse_common_flag(args, ctx)) {
+        return args.unknown_flag();
       }
-      i += consumed;
     }
     if (ctx.sharded()) {
       PSLLC_CONFIG_CHECK(bench.shardable,

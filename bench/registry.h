@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "results/result_store.h"
+#include "tools/cli.h"
 
 namespace psllc::bench {
 
@@ -85,10 +86,10 @@ void register_bench(const char* name, BenchFn fn, bool shardable = false);
 
 /// Parses the common flags (--threads N, --profile full|quick,
 /// --results-dir PATH, --no-csv, --shard-index N, --shard-count N,
-/// --manifest PATH) at argv[i]. Returns the number of argv slots
-/// consumed, 0 when argv[i] is not a common flag. Throws ConfigError on a
-/// malformed value.
-int parse_common_flag(int argc, char** argv, int i, BenchContext& ctx);
+/// --manifest PATH) at the cursor. Returns true (cursor advanced past the
+/// flag and its value) when the current argument was a common flag, false
+/// (cursor untouched) otherwise. Throws ConfigError on a malformed value.
+bool parse_common_flag(cli::ArgCursor& args, BenchContext& ctx);
 
 /// Usage text for the common flags (one indented line per flag).
 [[nodiscard]] const char* common_flags_help();

@@ -23,6 +23,7 @@
 #include "results/merge.h"
 #include "sim/batch.h"
 #include "sim/shard.h"
+#include "tools/cli.h"
 
 namespace {
 
@@ -47,54 +48,44 @@ int run(int argc, char** argv) {
   bool list_only = false;
   bool plan_only = false;
 
-  for (int i = 1; i < argc;) {
-    const std::string arg = argv[i];
-    if (arg == "--help" || arg == "-h") {
+  cli::ArgCursor args("run_all", argc, argv);
+  while (!args.done()) {
+    const std::string arg = args.arg();
+    if (args.is_help()) {
       print_usage();
       return 0;
     }
     if (arg == "--jobs") {
-      PSLLC_CONFIG_CHECK(i + 1 < argc, "--jobs needs a value");
-      const auto parsed = parse_i64(argv[i + 1]);
-      PSLLC_CONFIG_CHECK(parsed.has_value() && *parsed >= 1 &&
-                             *parsed <= 256,
-                         "--jobs needs an integer in [1, 256]");
-      batch.max_concurrent_jobs = static_cast<int>(*parsed);
-      i += 2;
+      batch.max_concurrent_jobs =
+          static_cast<int>(cli::parse_int_in(args.value(), "--jobs", 1, 256));
       continue;
     }
     if (arg == "--only") {
-      PSLLC_CONFIG_CHECK(i + 1 < argc, "--only needs a value");
-      for (const std::string& name : split(argv[i + 1], ',')) {
+      for (const std::string& name : split(args.value(), ',')) {
         if (!name.empty()) {
           only.push_back(name);
         }
       }
-      i += 2;
       continue;
     }
     if (arg == "--keep-going") {
       batch.fail_fast = false;
-      ++i;
+      args.advance();
       continue;
     }
     if (arg == "--plan-only") {
       plan_only = true;
-      ++i;
+      args.advance();
       continue;
     }
     if (arg == "--list") {
       list_only = true;
-      ++i;
+      args.advance();
       continue;
     }
-    const int consumed = bench::parse_common_flag(argc, argv, i, base);
-    if (consumed == 0) {
-      std::fprintf(stderr, "run_all: unknown flag '%s' (try --help)\n",
-                   arg.c_str());
-      return 2;
+    if (!bench::parse_common_flag(args, base)) {
+      return args.unknown_flag();
     }
-    i += consumed;
   }
 
   std::vector<bench::BenchInfo> selected;

@@ -45,6 +45,12 @@ class PendingBuffers {
   /// True if a write-back for `line` is queued.
   [[nodiscard]] bool has_writeback_for(LineAddr line) const;
 
+  /// Head of the PWB (the message the next kWriteBack pick would send).
+  /// Precondition: has_writeback().
+  [[nodiscard]] const BusMessage& front_writeback() const {
+    return pwb_.front();
+  }
+
   /// Upgrades a queued write-back for `line` (if any) so that its arrival
   /// frees the LLC entry — used when the LLC back-invalidates a line whose
   /// voluntary write-back is already in flight. Returns true if upgraded.

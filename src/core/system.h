@@ -90,9 +90,13 @@ class System {
   [[nodiscard]] const RequestTracker& tracker() const { return tracker_; }
   [[nodiscard]] const bus::TdmSchedule& schedule() const { return schedule_; }
   [[nodiscard]] const SystemConfig& config() const { return config_; }
-  /// The memory backend behind the LLC (selected by config().dram.backend;
-  /// owned by this System — see mem/memory_backend.h for the WCL contract).
-  [[nodiscard]] const mem::MemoryBackend& memory() const { return *memory_; }
+  /// Read-only query view of the memory backend behind the LLC (selected
+  /// by config().dram.backend; owned by this System — see
+  /// mem/memory_backend.h for the WCL contract). Only the query surface is
+  /// exposed; driving the backend stays internal to the replay engines.
+  [[nodiscard]] mem::MemoryView memory() const {
+    return mem::MemoryView(*memory_);
+  }
 
   /// Registers a per-slot observer (called after the slot's bus action).
   void add_slot_observer(std::function<void(const SlotEvent&)> observer);

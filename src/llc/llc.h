@@ -21,6 +21,14 @@
 // whose slot arrives first claims a freed entry, so the analysis' distance
 // can increase, Observation 3) and kSetSequencer (the paper's SS — FIFO
 // arrival order enforced by the set sequencer, Theorem 4.8).
+//
+// The class is a template over the memory-backend type. The default
+// instantiation (`PartitionedLlc`, Memory = mem::MemoryBackend) dispatches
+// DRAM accesses virtually and is the conformance path used by core::System;
+// the replay kernel (sim/kernel.h) instantiates it against each concrete
+// `final` backend so the compiler devirtualizes and inlines the fill/drain
+// calls on the hot path. Both instantiations execute the same member bodies
+// (llc_impl.h), so behavior is identical by construction.
 #ifndef PSLLC_LLC_LLC_H_
 #define PSLLC_LLC_LLC_H_
 
@@ -89,13 +97,32 @@ struct WritebackOutcome {
   bool freed_entry = false;  ///< the LLC entry became free (last ack)
 };
 
-class PartitionedLlc {
+/// LLC statistics. Hoisted to namespace scope so every backend
+/// instantiation of BasicPartitionedLlc shares one Stats type — RunMetrics
+/// stores it by value regardless of which instantiation produced it.
+struct LlcStats {
+  std::int64_t hit_presentations = 0;
+  std::int64_t blocked_presentations = 0;
+  std::int64_t fills = 0;
+  std::int64_t evictions_started = 0;
+  std::int64_t immediate_frees = 0;
+  std::int64_t voluntary_writebacks = 0;
+  std::int64_t freeing_writebacks = 0;
+  std::int64_t steals = 0;  ///< NSS: allocations past an older waiter
+  /// Write requests to lines privately shared by other cores (coherence
+  /// would be required; flagged because it is outside the paper's model).
+  std::int64_t shared_write_flags = 0;
+};
+
+template <typename Memory = mem::MemoryBackend>
+class BasicPartitionedLlc {
  public:
+  using Stats = LlcStats;
+
   /// `memory` (the backing-store model behind the LLC) must outlive the
   /// LLC. `num_cores` sizes pending-request state and the set sequencer.
-  PartitionedLlc(const LlcConfig& config, PartitionMap partitions,
-                 ContentionMode mode, int num_cores,
-                 mem::MemoryBackend& memory);
+  BasicPartitionedLlc(const LlcConfig& config, PartitionMap partitions,
+                      ContentionMode mode, int num_cores, Memory& memory);
 
   [[nodiscard]] const LlcConfig& config() const { return config_; }
   [[nodiscard]] const PartitionMap& partitions() const { return partitions_; }
@@ -162,19 +189,6 @@ class PartitionedLlc {
   void check_invariants() const;
 
   // --- statistics --------------------------------------------------------
-  struct Stats {
-    std::int64_t hit_presentations = 0;
-    std::int64_t blocked_presentations = 0;
-    std::int64_t fills = 0;
-    std::int64_t evictions_started = 0;
-    std::int64_t immediate_frees = 0;
-    std::int64_t voluntary_writebacks = 0;
-    std::int64_t freeing_writebacks = 0;
-    std::int64_t steals = 0;  ///< NSS: allocations past an older waiter
-    /// Write requests to lines privately shared by other cores (coherence
-    /// would be required; flagged because it is outside the paper's model).
-    std::int64_t shared_write_flags = 0;
-  };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
  private:
@@ -220,7 +234,7 @@ class PartitionedLlc {
   LlcConfig config_;
   PartitionMap partitions_;
   ContentionMode mode_;
-  mem::MemoryBackend* memory_;
+  Memory* memory_;
   std::vector<mem::CacheSet> sets_;
   std::vector<std::vector<EntryState>> entry_states_;
   InclusiveDirectory directory_;
@@ -228,6 +242,18 @@ class PartitionedLlc {
   std::vector<std::optional<Pending>> pending_;
   Stats stats_;
 };
+
+}  // namespace psllc::llc
+
+#include "llc/llc_impl.h"  // template member definitions
+
+namespace psllc::llc {
+
+// The virtual-dispatch instantiation lives in llc.cc; everything that only
+// needs the conformance path links against it instead of re-instantiating.
+extern template class BasicPartitionedLlc<mem::MemoryBackend>;
+
+using PartitionedLlc = BasicPartitionedLlc<mem::MemoryBackend>;
 
 }  // namespace psllc::llc
 

@@ -1,192 +1,8 @@
 #include "mem/memory_backend.h"
 
-#include <algorithm>
-
 #include "common/assert.h"
 
 namespace psllc::mem {
-
-MemoryBackend::MemoryBackend(const DramConfig& config) : config_(config) {
-  config_.validate();
-}
-
-Cycle MemoryBackend::record(Cycle latency, Cycle now) {
-  // The TDM bus serializes memory traffic, so accesses arrive in
-  // non-decreasing time order; lazy internal clocks rely on it.
-  PSLLC_ASSERT(last_access_ == kNoCycle || now >= last_access_,
-               "memory access times must be non-decreasing: " << now
-                   << " after " << last_access_);
-  last_access_ = now;
-  // The WCL contract: no single access may exceed the advertised bound.
-  PSLLC_ASSERT(latency <= worst_case_latency(),
-               name() << " backend returned latency " << latency
-                      << " above its worst_case_latency() "
-                      << worst_case_latency());
-  counters_.max_latency = std::max(counters_.max_latency, latency);
-  return latency;
-}
-
-Cycle MemoryBackend::read(LineAddr line, Cycle now) {
-  ++counters_.reads;
-  return record(service_read(line, now), now);
-}
-
-Cycle MemoryBackend::write(LineAddr line, Cycle now) {
-  ++counters_.writes;
-  return record(service_write(line, now), now);
-}
-
-// --- FixedLatencyBackend ----------------------------------------------------
-
-FixedLatencyBackend::FixedLatencyBackend(const DramConfig& config)
-    : MemoryBackend(config) {}
-
-Cycle FixedLatencyBackend::worst_case_latency() const {
-  return config_.fixed_latency;
-}
-
-std::unique_ptr<MemoryBackend> FixedLatencyBackend::clone() const {
-  return std::make_unique<FixedLatencyBackend>(*this);
-}
-
-Cycle FixedLatencyBackend::service_read(LineAddr /*line*/, Cycle /*now*/) {
-  return config_.fixed_latency;
-}
-
-Cycle FixedLatencyBackend::service_write(LineAddr /*line*/, Cycle /*now*/) {
-  return config_.fixed_latency;
-}
-
-// --- BankRowBackend ---------------------------------------------------------
-
-BankRowBackend::BankRowBackend(const DramConfig& config)
-    : MemoryBackend(config) {
-  open_row_.assign(static_cast<std::size_t>(config_.num_banks), -1);
-}
-
-Cycle BankRowBackend::worst_case_latency() const {
-  return config_.page_policy == PagePolicy::kOpenPage
-             ? config_.row_miss_latency
-             : config_.closed_page_latency;
-}
-
-std::unique_ptr<MemoryBackend> BankRowBackend::clone() const {
-  return std::make_unique<BankRowBackend>(*this);
-}
-
-int BankRowBackend::bank_of(LineAddr line) const {
-  const auto banks = static_cast<LineAddr>(config_.num_banks);
-  if (config_.bank_mapping == BankMapping::kLineInterleaved) {
-    return static_cast<int>(line % banks);
-  }
-  const auto lines_per_row =
-      static_cast<LineAddr>(config_.row_bytes / config_.line_bytes);
-  return static_cast<int>((line / lines_per_row) % banks);
-}
-
-std::int64_t BankRowBackend::row_of(LineAddr line) const {
-  const auto banks = static_cast<LineAddr>(config_.num_banks);
-  const auto lines_per_row =
-      static_cast<LineAddr>(config_.row_bytes / config_.line_bytes);
-  if (config_.bank_mapping == BankMapping::kLineInterleaved) {
-    // Consecutive lines stripe across banks; a bank's consecutive lines
-    // (stride num_banks) fill its rows in order.
-    return static_cast<std::int64_t>((line / banks) / lines_per_row);
-  }
-  return static_cast<std::int64_t>((line / lines_per_row) / banks);
-}
-
-Cycle BankRowBackend::service(LineAddr line) {
-  if (config_.page_policy == PagePolicy::kClosedPage) {
-    // Auto-precharge: the bank is always closed when the access arrives, so
-    // every access activates its row and costs the same. Accounted as a
-    // row miss (no row is ever found open).
-    ++counters_.row_misses;
-    return config_.closed_page_latency;
-  }
-  const auto bank = static_cast<std::size_t>(bank_of(line));
-  const std::int64_t row = row_of(line);
-  if (open_row_[bank] == row) {
-    ++counters_.row_hits;
-    return config_.row_hit_latency;
-  }
-  ++counters_.row_misses;
-  open_row_[bank] = row;
-  return config_.row_miss_latency;
-}
-
-Cycle BankRowBackend::service_read(LineAddr line, Cycle /*now*/) {
-  return service(line);
-}
-
-Cycle BankRowBackend::service_write(LineAddr line, Cycle /*now*/) {
-  return service(line);
-}
-
-// --- WriteQueueBackend ------------------------------------------------------
-
-WriteQueueBackend::WriteQueueBackend(const DramConfig& config)
-    : MemoryBackend(config) {}
-
-Cycle WriteQueueBackend::worst_case_latency() const {
-  // Reads pay fixed_latency; a write stalled on a full queue pays one
-  // synchronous head drain (fixed_latency) plus its own enqueue.
-  return config_.fixed_latency + config_.wq_enqueue_latency;
-}
-
-std::unique_ptr<MemoryBackend> WriteQueueBackend::clone() const {
-  return std::make_unique<WriteQueueBackend>(*this);
-}
-
-void WriteQueueBackend::drain(Cycle now) {
-  while (!queue_.empty() && queue_.front() <= now) {
-    queue_.pop_front();
-    ++counters_.drained_writes;
-  }
-}
-
-Cycle WriteQueueBackend::service_read(LineAddr /*line*/, Cycle now) {
-  drain(now);
-  // Reads bypass the queue (the controller prioritizes them; a buffered
-  // copy of the line is forwarded at no extra cost).
-  return config_.fixed_latency;
-}
-
-Cycle WriteQueueBackend::service_write(LineAddr /*line*/, Cycle now) {
-  drain(now);
-  Cycle latency = config_.wq_enqueue_latency;
-  Cycle server_free = queue_.empty() ? now : queue_.back();
-  if (static_cast<int>(queue_.size()) >= config_.wq_capacity) {
-    // Back-pressure: the controller frees a slot by draining the head
-    // synchronously — one full DRAM write on the critical path. This keeps
-    // the per-access cost bounded even when writes arrive faster than the
-    // background drain rate forever (a wait-for-background-drain model
-    // would accumulate unbounded stalls under sustained overload). The
-    // background schedule then restarts behind the synchronous write.
-    queue_.pop_front();
-    ++counters_.drained_writes;
-    ++counters_.write_stalls;
-    latency += config_.fixed_latency;
-    Cycle completion = now + config_.fixed_latency;
-    for (Cycle& queued : queue_) {
-      completion += config_.wq_drain_period;
-      queued = completion;
-    }
-    server_free = completion;
-  }
-  // The background server retires one write per period, starting when the
-  // previous drain finishes (or immediately on an idle queue).
-  queue_.push_back(std::max(now, server_free) + config_.wq_drain_period);
-  PSLLC_AUDIT(static_cast<int>(queue_.size()) <= config_.wq_capacity,
-              "write queue depth " << queue_.size() << " exceeds capacity "
-                                   << config_.wq_capacity);
-  ++counters_.queued_writes;
-  counters_.max_queue_depth = std::max(
-      counters_.max_queue_depth, static_cast<std::int64_t>(queue_.size()));
-  return latency;
-}
-
-// --- factory ----------------------------------------------------------------
 
 std::unique_ptr<MemoryBackend> make_memory_backend(const DramConfig& config) {
   switch (config.backend) {

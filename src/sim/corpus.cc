@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <bit>
-#include <limits>
 #include <mutex>
 #include <set>
 #include <stdexcept>
@@ -12,6 +11,7 @@
 #include "common/assert.h"
 #include "common/string_util.h"
 #include "sim/batch.h"
+#include "sim/replay.h"
 #include "sim/trace_io.h"
 #include "sim/workload.h"
 #include "trace/binary_io.h"
@@ -49,48 +49,31 @@ Addr mirror_window(const std::string& name, const core::Trace& trace) {
   return std::max<Addr>(std::bit_ceil(max_addr + 64), 4096);
 }
 
-/// Per-core traces for one cell. `window` is the precomputed
-/// mirror_window of the entry (unused for solo replay).
-std::vector<core::Trace> replay_traces(const std::string& name,
-                                       const core::Trace& trace,
-                                       int active_cores, CorpusReplay replay,
-                                       Addr window) {
-  if (replay == CorpusReplay::kSolo) {
-    return {trace};
-  }
-  PSLLC_CONFIG_CHECK(
-      active_cores <= 1 ||
-          window <= (std::numeric_limits<Addr>::max() / 2) /
-                        static_cast<Addr>(active_cores - 1),
-      "corpus entry '" << name
-                       << "': mirrored windows overflow the address space");
-  std::vector<core::Trace> traces;
-  traces.reserve(static_cast<std::size_t>(active_cores));
-  for (int c = 0; c < active_cores; ++c) {
-    core::Trace shifted = trace;
-    const Addr offset = static_cast<Addr>(c) * window;
-    for (core::MemOp& op : shifted) {
-      op.addr += offset;
-    }
-    traces.push_back(std::move(shifted));
-  }
-  return traces;
-}
-
+/// One corpus cell via the shared replay entry point. The entry's trace is
+/// handed to sim::replay() as a shared workload — solo replay runs it on
+/// core 0 alone; mirrored replay runs one replica per active core, shifted
+/// by `window` — so no per-core trace copies are materialized on the
+/// kernel path (the legacy fallback shifts copies exactly as before).
 CorpusCell run_corpus_cell(const std::string& name,
                            const SweepConfig& config,
                            const SweepOptions& options,
-                           const std::vector<core::Trace>& traces) {
+                           const core::Trace& trace, CorpusReplay replay,
+                           Addr window) {
   core::ExperimentSetup setup =
       core::make_paper_setup(config.notation, config.active_cores);
   setup.config.dram = options.dram;
   setup.config.validate();
-  RunOptions run_options;
-  run_options.max_cycles = options.max_cycles;
+  ReplayRequest request;
+  request.setup = &setup;
+  request.workload.shared = &trace;
+  request.workload.replicas =
+      replay == CorpusReplay::kSolo ? 1 : config.active_cores;
+  request.workload.window = replay == CorpusReplay::kSolo ? 0 : window;
+  request.options.max_cycles = options.max_cycles;
   CorpusCell cell;
   cell.trace_name = name;
   cell.config = config;
-  cell.metrics = run_experiment(setup, traces, run_options);
+  cell.metrics = sim::replay(request).metrics;
   cell.ran = true;
   return cell;
 }
@@ -222,11 +205,9 @@ CorpusResult run_corpus(const std::vector<CorpusSource>& sources,
         if (replay == CorpusReplay::kMirrored && group.active_cores > 1) {
           window = mirror_window(sources[e].name, trace);
         }
-        const std::vector<core::Trace> traces = replay_traces(
-            sources[e].name, trace, group.active_cores, replay, window);
         for (const std::size_t c : owned) {
           result.cells[e * num_configs + c] = run_corpus_cell(
-              sources[e].name, configs[c], options, traces);
+              sources[e].name, configs[c], options, trace, replay, window);
         }
         {
           const std::lock_guard<std::mutex> lock(residency_mutex);

@@ -8,6 +8,7 @@
 
 #include "common/assert.h"
 #include "core/wcl_analysis.h"
+#include "sim/replay.h"
 
 namespace psllc::sim {
 
@@ -24,8 +25,9 @@ const SweepCell& SweepResult::cell(int range_index, int config_index) const {
 
 namespace {
 
-// Computes one grid cell. Every cell builds its own core::System and its own
-// traces, so cells share no mutable state and can run on any thread.
+// Computes one grid cell through the shared replay entry point. Every cell
+// builds its own engine state and its own traces, so cells share no mutable
+// state and can run on any thread.
 SweepCell run_cell(const SweepConfig& config, std::int64_t range,
                    const SweepOptions& options) {
   RandomWorkloadOptions workload;
@@ -40,12 +42,14 @@ SweepCell run_cell(const SweepConfig& config, std::int64_t range,
       core::make_paper_setup(config.notation, config.active_cores);
   setup.config.dram = options.dram;
   setup.config.validate();
-  RunOptions run_options;
-  run_options.max_cycles = options.max_cycles;
+  ReplayRequest request;
+  request.setup = &setup;
+  request.workload.per_core = &traces;
+  request.options.max_cycles = options.max_cycles;
   SweepCell cell;
   cell.config = config;
   cell.range_bytes = range;
-  cell.metrics = run_experiment(setup, traces, run_options);
+  cell.metrics = replay(request).metrics;
   return cell;
 }
 

@@ -2,21 +2,18 @@
 
 #include "common/assert.h"
 #include "core/wcl_analysis.h"
+#include "sim/replay.h"
 
 namespace psllc::sim {
 
 RunMetrics run_experiment(const core::ExperimentSetup& setup,
                           const std::vector<core::Trace>& traces,
                           const RunOptions& options) {
-  PSLLC_CONFIG_CHECK(
-      static_cast<int>(traces.size()) <= setup.config.num_cores,
-      "more traces (" << traces.size() << ") than cores ("
-                      << setup.config.num_cores << ")");
-  core::System system(setup);
-  for (std::size_t c = 0; c < traces.size(); ++c) {
-    system.set_trace(CoreId{static_cast<int>(c)}, traces[c]);
-  }
-  return run_system(system, setup, options);
+  ReplayRequest request;
+  request.setup = &setup;
+  request.workload.per_core = &traces;
+  request.options = options;
+  return replay(request).metrics;
 }
 
 RunMetrics run_system(core::System& system,

@@ -38,8 +38,10 @@ struct RunOptions {
   Cycle max_cycles = 2'000'000'000;
 };
 
-/// Runs `traces` (one per core, padded with empty traces) on a fresh System
-/// built from `setup`.
+/// Runs `traces` (one per core, padded with empty traces) built from
+/// `setup`. Thin wrapper over sim::replay() with a per-core workload and
+/// automatic engine choice — takes the replay kernel when eligible, the
+/// legacy System loop otherwise (see sim/replay.h).
 [[nodiscard]] RunMetrics run_experiment(const core::ExperimentSetup& setup,
                                         const std::vector<core::Trace>& traces,
                                         const RunOptions& options = {});

@@ -139,6 +139,18 @@ core::MemOp MappedTrace::operator[](std::uint64_t index) const {
                        header_.addr_width_bits, index);
 }
 
+void MappedTrace::decode_batch(std::uint64_t first, std::uint64_t count,
+                               Addr addr_offset, core::MemOp* out) const {
+  PSLLC_ASSERT(first <= header_.op_count && count <= header_.op_count - first,
+               "trace batch [" << first << ", " << first + count
+                              << ") out of range " << header_.op_count);
+  const unsigned char* record = data_ + kHeaderBytes + first * record_bytes_;
+  for (std::uint64_t i = 0; i < count; ++i, record += record_bytes_) {
+    out[i] = decode_record(record, header_.addr_width_bits, first + i);
+    out[i].addr += addr_offset;
+  }
+}
+
 core::Trace MappedTrace::to_trace() const {
   core::Trace out;
   out.reserve(header_.op_count);

@@ -45,6 +45,13 @@ class MappedTrace {
   /// Decodes record `index` straight from the mapped bytes.
   [[nodiscard]] core::MemOp operator[](std::uint64_t index) const;
 
+  /// Decodes `count` records starting at `first` into `out` (which must
+  /// hold `count` ops), adding `addr_offset` to every address. One call per
+  /// replay-kernel chunk amortizes the per-record call overhead while the
+  /// bytes stay on the mapped view.
+  void decode_batch(std::uint64_t first, std::uint64_t count,
+                    Addr addr_offset, core::MemOp* out) const;
+
   /// Materializes the whole file as a core::Trace.
   [[nodiscard]] core::Trace to_trace() const;
 

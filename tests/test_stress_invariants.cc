@@ -95,16 +95,15 @@ TEST(WriteQueueStress, SaturatedDirtyEvictionsStayBoundedAndLossless) {
   setup.config.dram.wq_capacity = 2;
   setup.config.validate();
   System system(setup);
-  const auto& queue =
-      dynamic_cast<const mem::WriteQueueBackend&>(system.memory());
   const int period = system.schedule().slots_per_period();
   system.add_slot_observer([&](const SlotEvent& event) {
     if (event.slot_index % period != 0) {
       return;
     }
-    const mem::MemoryCounters& counters = system.memory().counters();
-    ASSERT_LE(queue.pending_queue_depth(), setup.config.dram.wq_capacity);
-    ASSERT_EQ(counters.drained_writes + queue.pending_queue_depth(),
+    const mem::MemoryView memory = system.memory();
+    const mem::MemoryCounters& counters = memory.counters();
+    ASSERT_LE(memory.pending_queue_depth(), setup.config.dram.wq_capacity);
+    ASSERT_EQ(counters.drained_writes + memory.pending_queue_depth(),
               counters.queued_writes);
   });
   sim::RandomWorkloadOptions workload;
@@ -116,10 +115,11 @@ TEST(WriteQueueStress, SaturatedDirtyEvictionsStayBoundedAndLossless) {
     system.set_trace(CoreId{c}, traces[static_cast<std::size_t>(c)]);
   }
   ASSERT_TRUE(system.run(2'000'000'000).all_done);
-  const mem::MemoryCounters& counters = system.memory().counters();
+  const mem::MemoryView memory = system.memory();
+  const mem::MemoryCounters& counters = memory.counters();
   EXPECT_GT(counters.queued_writes, 1000);  // the workload really saturated
   EXPECT_EQ(counters.queued_writes, counters.writes);
-  EXPECT_EQ(counters.drained_writes + queue.pending_queue_depth(),
+  EXPECT_EQ(counters.drained_writes + memory.pending_queue_depth(),
             counters.queued_writes);
   EXPECT_LE(counters.max_queue_depth, setup.config.dram.wq_capacity);
   // The slot constraint keeps the bus ahead of the drain rate, so the

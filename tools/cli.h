@@ -1,0 +1,100 @@
+// Shared command-line parsing primitives for the bench and tool binaries.
+// Every executable in bench/ and tools/ parses the same way: a linear scan
+// over argv with flags consuming an optional following value, bespoke
+// validation via ConfigError (caught in main, exit code 2), and an
+// unknown-flag diagnostic naming the binary. ArgCursor centralizes the
+// scan mechanics and the diagnostic wording so the binaries only differ in
+// the flags they accept.
+//
+// Conventions preserved across every user:
+//  - exit 0 = success, 1 = domain failure (regression, refused merge,
+//    malformed trace, failed claim), 2 = usage or I/O error;
+//  - unknown flags report "<binary>: unknown flag '<arg>' (try --help)" on
+//    stderr and exit 2;
+//  - a flag missing its value throws ConfigError("<flag> needs a value"),
+//    which each main() prints prefixed with the binary name.
+#ifndef PSLLC_TOOLS_CLI_H_
+#define PSLLC_TOOLS_CLI_H_
+
+#include <charconv>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/assert.h"
+#include "common/string_util.h"
+
+namespace psllc::cli {
+
+/// Cursor over argv[1..argc) for one binary. The owning loop inspects
+/// arg(), dispatches, and consumes via advance()/value(); positionals are
+/// whatever the loop takes before advancing past them.
+class ArgCursor {
+ public:
+  ArgCursor(const char* binary, int argc, char** argv)
+      : binary_(binary), argc_(argc), argv_(argv) {}
+
+  [[nodiscard]] bool done() const { return index_ >= argc_; }
+  /// Current argument; only valid while !done().
+  [[nodiscard]] std::string arg() const { return argv_[index_]; }
+  [[nodiscard]] bool is_help() const {
+    return arg() == "--help" || arg() == "-h";
+  }
+  /// Looks like a flag (leading dash) rather than a positional.
+  [[nodiscard]] bool is_flag() const { return argv_[index_][0] == '-'; }
+  /// Consumes the current argument (or `count` of them).
+  void advance(int count = 1) { index_ += count; }
+
+  /// The value of the current flag (the next argv slot); consumes both.
+  /// Throws ConfigError("<flag> needs <what>") when argv ends first.
+  const char* value(const char* what = "a value") {
+    PSLLC_CONFIG_CHECK(index_ + 1 < argc_,
+                       argv_[index_] << " needs " << what);
+    const char* text = argv_[index_ + 1];
+    index_ += 2;
+    return text;
+  }
+
+  /// Reports the current argument as unknown on stderr — the exact
+  /// "<binary>: unknown flag '<arg>' (try --help)" wording the smoke
+  /// scripts rely on — and returns the usage exit code 2.
+  [[nodiscard]] int unknown_flag() const {
+    std::fprintf(stderr, "%s: unknown flag '%s' (try --help)\n", binary_,
+                 argv_[index_]);
+    return 2;
+  }
+
+  [[nodiscard]] const char* binary() const { return binary_; }
+
+ private:
+  const char* binary_;
+  int argc_;
+  char** argv_;
+  int index_ = 1;
+};
+
+/// Integer flag value constrained to [lo, hi]; throws ConfigError naming
+/// the flag, the accepted range and the offending text.
+inline std::int64_t parse_int_in(const char* text, const char* flag,
+                                 std::int64_t lo, std::int64_t hi) {
+  const auto parsed = parse_i64(text);
+  PSLLC_CONFIG_CHECK(parsed.has_value() && *parsed >= lo && *parsed <= hi,
+                     flag << " needs an integer in [" << lo << ", " << hi
+                          << "], got '" << text << "'");
+  return *parsed;
+}
+
+/// Non-negative real flag value; throws ConfigError("bad <flag> '<text>'").
+inline double parse_nonneg_real(const char* text, const char* flag) {
+  double parsed = 0;
+  const char* end = text + std::strlen(text);
+  const auto [ptr, ec] = std::from_chars(text, end, parsed);
+  PSLLC_CONFIG_CHECK(ec == std::errc{} && ptr == end && parsed >= 0,
+                     "bad " << flag << " '" << text << "'");
+  return parsed;
+}
+
+}  // namespace psllc::cli
+
+#endif  // PSLLC_TOOLS_CLI_H_

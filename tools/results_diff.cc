@@ -10,12 +10,12 @@
 //
 // Exit codes: 0 = no regression, 1 = regression(s) found, 2 = usage or
 // I/O error.
-#include <charconv>
 #include <cstdio>
 #include <exception>
 #include <string>
 
 #include "results/diff.h"
+#include "tools/cli.h"
 
 namespace {
 
@@ -33,38 +33,25 @@ int run(int argc, char** argv) {
   std::string candidate;
   psllc::results::DiffOptions options;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--help" || arg == "-h") {
+  psllc::cli::ArgCursor args("results_diff", argc, argv);
+  while (!args.done()) {
+    const std::string arg = args.arg();
+    if (args.is_help()) {
       print_usage();
       return 0;
     }
     if (arg == "--rel-tol") {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "results_diff: --rel-tol needs a value\n");
-        return 2;
-      }
-      const std::string value = argv[++i];
-      double parsed = 0;
-      const auto [ptr, ec] = std::from_chars(
-          value.data(), value.data() + value.size(), parsed);
-      if (ec != std::errc{} || ptr != value.data() + value.size() ||
-          parsed < 0) {
-        std::fprintf(stderr, "results_diff: bad --rel-tol '%s'\n",
-                     value.c_str());
-        return 2;
-      }
-      options.rel_tol = parsed;
+      options.rel_tol =
+          psllc::cli::parse_nonneg_real(args.value(), "--rel-tol");
       continue;
     }
     if (arg == "--fail-on-extra") {
       options.fail_on_extra_bench = true;
+      args.advance();
       continue;
     }
-    if (!arg.empty() && arg.front() == '-') {
-      std::fprintf(stderr, "results_diff: unknown flag '%s' (try --help)\n",
-                   arg.c_str());
-      return 2;
+    if (args.is_flag()) {
+      return args.unknown_flag();
     }
     if (golden.empty()) {
       golden = arg;
@@ -74,6 +61,7 @@ int run(int argc, char** argv) {
       std::fprintf(stderr, "results_diff: too many positional arguments\n");
       return 2;
     }
+    args.advance();
   }
   if (golden.empty() || candidate.empty()) {
     print_usage();

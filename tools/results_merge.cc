@@ -17,6 +17,7 @@
 
 #include "results/merge.h"
 #include "sim/shard.h"
+#include "tools/cli.h"
 
 namespace {
 
@@ -36,38 +37,31 @@ int run(int argc, char** argv) {
   psllc::results::MergeOptions options;
   std::vector<std::filesystem::path> roots;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--help" || arg == "-h") {
+  psllc::cli::ArgCursor args("results_merge", argc, argv);
+  while (!args.done()) {
+    const std::string arg = args.arg();
+    if (args.is_help()) {
       print_usage();
       return 0;
     }
     if (arg == "--manifest") {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "results_merge: --manifest needs a value\n");
-        return 2;
-      }
-      manifest_path = argv[++i];
+      manifest_path = args.value();
       continue;
     }
     if (arg == "--out") {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "results_merge: --out needs a value\n");
-        return 2;
-      }
-      out_dir = argv[++i];
+      out_dir = args.value();
       continue;
     }
     if (arg == "--no-csv") {
       options.write_csv = false;
+      args.advance();
       continue;
     }
-    if (!arg.empty() && arg.front() == '-') {
-      std::fprintf(stderr, "results_merge: unknown flag '%s' (try --help)\n",
-                   arg.c_str());
-      return 2;
+    if (args.is_flag()) {
+      return args.unknown_flag();
     }
     roots.emplace_back(arg);
+    args.advance();
   }
   if (manifest_path.empty() || out_dir.empty() || roots.empty()) {
     print_usage();

@@ -25,6 +25,7 @@
 #include "common/string_util.h"
 #include "sim/corpus.h"
 #include "sim/trace_io.h"
+#include "tools/cli.h"
 #include "trace/binary_io.h"
 #include "trace/format.h"
 #include "trace/mapped_trace.h"
@@ -89,25 +90,28 @@ int run(int argc, char** argv) {
   int accesses = 400;
   std::vector<std::string> paths;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--help" || arg == "-h") {
+  cli::ArgCursor args("trace_convert", argc, argv);
+  while (!args.done()) {
+    const std::string arg = args.arg();
+    if (args.is_help()) {
       print_usage();
       return 0;
     }
     if (arg == "--validate") {
       validate = true;
+      args.advance();
       continue;
     }
     if (arg == "--stats") {
       stats = true;
+      args.advance();
       continue;
     }
     if (arg == "--addr-width" || arg == "--accesses") {
-      PSLLC_CONFIG_CHECK(i + 1 < argc, arg << " needs a value");
-      const auto parsed = parse_i64(argv[++i]);
+      const char* text = args.value();
+      const auto parsed = parse_i64(text);
       PSLLC_CONFIG_CHECK(parsed.has_value(),
-                         arg << ": bad integer '" << argv[i] << "'");
+                         arg << ": bad integer '" << text << "'");
       if (arg == "--addr-width") {
         PSLLC_CONFIG_CHECK(*parsed == 32 || *parsed == 64,
                            "--addr-width must be 32 or 64");
@@ -120,16 +124,14 @@ int run(int argc, char** argv) {
       continue;
     }
     if (arg == "--demo") {
-      PSLLC_CONFIG_CHECK(i + 1 < argc, "--demo needs a directory");
-      demo_dir = argv[++i];
+      demo_dir = args.value("a directory");
       continue;
     }
-    if (!arg.empty() && arg.front() == '-') {
-      std::fprintf(stderr, "trace_convert: unknown flag '%s' (try --help)\n",
-                   arg.c_str());
-      return 2;
+    if (args.is_flag()) {
+      return args.unknown_flag();
     }
     paths.push_back(arg);
+    args.advance();
   }
 
   if (demo_dir.has_value()) {
