@@ -1,0 +1,47 @@
+# Smoke of the wcl_calculator example's argument contract, run via
+#   cmake -DWCL_CALCULATOR_BIN=... -P wcl_calculator_smoke.cmake
+#
+# Pins the repo-wide CLI convention onto the example: a valid invocation
+# exits 0, and every malformed argument exits 2 with a diagnostic — the
+# regression here was std::atoi silently turning garbage like "four" into
+# 0 cores.
+
+if(NOT DEFINED WCL_CALCULATOR_BIN)
+  message(FATAL_ERROR "wcl_calculator_smoke.cmake needs -DWCL_CALCULATOR_BIN=...")
+endif()
+
+# Valid: notation + cores + slot width.
+execute_process(
+  COMMAND "${WCL_CALCULATOR_BIN}" "SS(32,4,4)" 4 50
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "valid invocation exited with ${rc}\n${out}\n${err}")
+endif()
+if(NOT out MATCHES "Theorem 4.7")
+  message(FATAL_ERROR "valid invocation printed no bound:\n${out}")
+endif()
+
+# Malformed arguments: each must exit 2 with a diagnostic on stderr
+# ('|'-separated here because ';' is the cmake list separator).
+set(bad_invocations
+    "SS(32,4,4)|four|50"      # non-numeric cores (the old atoi -> 0 bug)
+    "SS(32,4,4)|4|zero"       # non-numeric slot width
+    "SS(32,4,4)|0|50"         # out-of-range cores
+    "NOT_A_NOTATION")         # unparsable notation
+foreach(invocation IN LISTS bad_invocations)
+  string(REPLACE "|" " " pretty "${invocation}")
+  string(REPLACE "|" ";" invocation_args "${invocation}")
+  execute_process(
+    COMMAND "${WCL_CALCULATOR_BIN}" ${invocation_args}
+    OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 2)
+    message(FATAL_ERROR
+            "wcl_calculator ${pretty} exited with ${rc}, want 2\n${out}\n${err}")
+  endif()
+  if(NOT err MATCHES "wcl_calculator: ")
+    message(FATAL_ERROR
+            "wcl_calculator ${pretty} printed no diagnostic:\n${err}")
+  endif()
+endforeach()
+
+message(STATUS "wcl_calculator smoke: valid run ok, bad arguments exit 2")

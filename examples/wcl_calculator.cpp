@@ -6,12 +6,12 @@
 //   $ ./wcl_calculator "NSS(1,16,4)" 4 50     # + slot width
 //   $ ./wcl_calculator                        # table of common configs
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 
 #include "common/table.h"
 #include "core/system_config.h"
 #include "core/wcl_analysis.h"
+#include "tools/cli.h"
 
 namespace {
 
@@ -88,12 +88,22 @@ int main(int argc, char** argv) {
       return 0;
     }
     const auto notation = core::PartitionNotation::parse(argv[1]);
-    const int cores = argc > 2 ? std::atoi(argv[2])
-                               : (notation.is_shared() ? notation.sharers : 4);
-    const Cycle slot_width = argc > 3 ? std::atoll(argv[3])
-                                      : core::kPaperSlotWidth;
+    // Validated parses, not atoi: garbage like "four" must exit 2 with a
+    // diagnostic, never silently become 0 cores.
+    const int cores =
+        argc > 2 ? static_cast<int>(cli::parse_int_in(argv[2], "cores", 1,
+                                                      1024))
+                 : (notation.is_shared() ? notation.sharers : 4);
+    const Cycle slot_width =
+        argc > 3 ? cli::parse_int_in(argv[3], "slot_width", 1,
+                                     1'000'000'000)
+                 : core::kPaperSlotWidth;
     print_for(notation, cores, slot_width);
     return 0;
+  } catch (const ConfigError& e) {
+    // The repo-wide CLI contract: bad arguments exit 2.
+    std::fprintf(stderr, "wcl_calculator: %s\n", e.what());
+    return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -1,0 +1,127 @@
+// Tests for the shared CLI parsing primitives (tools/cli.h): the argv
+// cursor's flag/positional classification, flag-value consumption, and the
+// validated numeric parsers — including the parse-time rejection of
+// non-finite reals ("inf" would otherwise sail through from_chars and only
+// explode much later, inside the result store).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/assert.h"
+#include "tools/cli.h"
+
+namespace psllc::cli {
+namespace {
+
+/// argv scaffold owning its strings (argv[0] is the binary name).
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : strings_(std::move(args)) {
+    strings_.insert(strings_.begin(), "test_bin");
+    pointers_.reserve(strings_.size());
+    for (std::string& text : strings_) {
+      pointers_.push_back(text.data());
+    }
+  }
+  [[nodiscard]] int argc() const {
+    return static_cast<int>(pointers_.size());
+  }
+  [[nodiscard]] char** argv() { return pointers_.data(); }
+
+ private:
+  std::vector<std::string> strings_;
+  std::vector<char*> pointers_;
+};
+
+bool classifies_as_flag(const std::string& arg) {
+  Argv argv({arg});
+  return ArgCursor("test_bin", argv.argc(), argv.argv()).is_flag();
+}
+
+TEST(ArgCursor, FlagClassification) {
+  EXPECT_TRUE(classifies_as_flag("--threads"));
+  EXPECT_TRUE(classifies_as_flag("-h"));
+  EXPECT_TRUE(classifies_as_flag("--"));
+  // A lone "-" is the conventional stdin placeholder and negative numbers
+  // are values, not flags — neither may trip the unknown-flag path.
+  EXPECT_FALSE(classifies_as_flag("-"));
+  EXPECT_FALSE(classifies_as_flag("-5"));
+  EXPECT_FALSE(classifies_as_flag("-0.25"));
+  EXPECT_FALSE(classifies_as_flag("positional"));
+}
+
+TEST(ArgCursor, WalksFlagsAndValues) {
+  Argv argv({"--ops", "500", "trailing"});
+  ArgCursor args("test_bin", argv.argc(), argv.argv());
+  ASSERT_FALSE(args.done());
+  EXPECT_EQ(args.arg(), "--ops");
+  EXPECT_FALSE(args.is_help());
+  EXPECT_STREQ(args.value(), "500");
+  ASSERT_FALSE(args.done());
+  EXPECT_EQ(args.arg(), "trailing");
+  EXPECT_FALSE(args.is_flag());
+  args.advance();
+  EXPECT_TRUE(args.done());
+}
+
+TEST(ArgCursor, MissingValueThrowsNamingTheFlag) {
+  Argv argv({"--seed"});
+  ArgCursor args("test_bin", argv.argc(), argv.argv());
+  try {
+    (void)args.value();
+    FAIL() << "value() must throw when argv ends";
+  } catch (const ConfigError& e) {
+    EXPECT_EQ(std::string(e.what()), "--seed needs a value");
+  }
+  Argv argv2({"--promote"});
+  ArgCursor args2("test_bin", argv2.argc(), argv2.argv());
+  try {
+    (void)args2.value("a directory");
+    FAIL() << "value(what) must throw when argv ends";
+  } catch (const ConfigError& e) {
+    EXPECT_EQ(std::string(e.what()), "--promote needs a directory");
+  }
+}
+
+TEST(ParseIntIn, EnforcesRangeAndFormat) {
+  EXPECT_EQ(parse_int_in("42", "--n", 0, 100), 42);
+  EXPECT_EQ(parse_int_in("-3", "--n", -10, 10), -3);
+  EXPECT_THROW((void)parse_int_in("101", "--n", 0, 100), ConfigError);
+  EXPECT_THROW((void)parse_int_in("4x", "--n", 0, 100), ConfigError);
+  EXPECT_THROW((void)parse_int_in("", "--n", 0, 100), ConfigError);
+  try {
+    (void)parse_int_in("bogus", "cores", 1, 1024);
+    FAIL() << "must throw";
+  } catch (const ConfigError& e) {
+    EXPECT_EQ(std::string(e.what()),
+              "cores needs an integer in [1, 1024], got 'bogus'");
+  }
+}
+
+TEST(ParseNonnegReal, AcceptsFiniteNonnegatives) {
+  EXPECT_EQ(parse_nonneg_real("0", "--t"), 0.0);
+  EXPECT_EQ(parse_nonneg_real("1.5", "--t"), 1.5);
+  EXPECT_EQ(parse_nonneg_real("1e3", "--t"), 1000.0);
+}
+
+TEST(ParseNonnegReal, RejectsNonFiniteAtParseTime) {
+  // std::from_chars's general format parses all of these as valid doubles;
+  // the parser must still refuse them with the standard wording.
+  for (const char* text :
+       {"inf", "INF", "infinity", "nan", "nan(ind)", "-inf"}) {
+    try {
+      (void)parse_nonneg_real(text, "--threshold");
+      FAIL() << "'" << text << "' must be rejected";
+    } catch (const ConfigError& e) {
+      EXPECT_EQ(std::string(e.what()),
+                std::string("bad --threshold '") + text + "'");
+    }
+  }
+  EXPECT_THROW((void)parse_nonneg_real("-0.5", "--t"), ConfigError);
+  EXPECT_THROW((void)parse_nonneg_real("1.5extra", "--t"), ConfigError);
+  EXPECT_THROW((void)parse_nonneg_real("", "--t"), ConfigError);
+}
+
+}  // namespace
+}  // namespace psllc::cli

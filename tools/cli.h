@@ -17,6 +17,7 @@
 #define PSLLC_TOOLS_CLI_H_
 
 #include <charconv>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -41,8 +42,14 @@ class ArgCursor {
   [[nodiscard]] bool is_help() const {
     return arg() == "--help" || arg() == "-h";
   }
-  /// Looks like a flag (leading dash) rather than a positional.
-  [[nodiscard]] bool is_flag() const { return argv_[index_][0] == '-'; }
+  /// Looks like a flag rather than a positional: a dash followed by a
+  /// non-digit. A lone "-" (conventional stdin placeholder) and negative
+  /// numbers ("-5", "-0.25") are positionals, not unknown flags.
+  [[nodiscard]] bool is_flag() const {
+    const char* arg = argv_[index_];
+    return arg[0] == '-' && arg[1] != '\0' &&
+           !(arg[1] >= '0' && arg[1] <= '9');
+  }
   /// Consumes the current argument (or `count` of them).
   void advance(int count = 1) { index_ += count; }
 
@@ -86,11 +93,16 @@ inline std::int64_t parse_int_in(const char* text, const char* flag,
 }
 
 /// Non-negative real flag value; throws ConfigError("bad <flag> '<text>'").
+/// Rejects non-finite values: from_chars's general format parses "inf"/
+/// "infinity"/"nan" (and inf >= 0 holds), but no flag in the repo means
+/// anything by them and results::Series::add_row refuses non-finite reals
+/// far from the offending flag — so they must die here, at parse time.
 inline double parse_nonneg_real(const char* text, const char* flag) {
   double parsed = 0;
   const char* end = text + std::strlen(text);
   const auto [ptr, ec] = std::from_chars(text, end, parsed);
-  PSLLC_CONFIG_CHECK(ec == std::errc{} && ptr == end && parsed >= 0,
+  PSLLC_CONFIG_CHECK(ec == std::errc{} && ptr == end &&
+                         std::isfinite(parsed) && parsed >= 0,
                      "bad " << flag << " '" << text << "'");
   return parsed;
 }
