@@ -34,10 +34,10 @@ Row run_one(const char* notation, llc::SetMapping mapping, std::int64_t range,
   ExperimentSetup setup = make_paper_setup(notation, 4);
   // Rebuild the partition map with the requested mapping.
   llc::PartitionMap remapped(setup.config.llc.geometry);
-  for (int p = 0; p < setup.partitions.num_partitions(); ++p) {
-    llc::PartitionSpec spec = setup.partitions.spec(p);
+  for (int p = 0; p < setup.partitions().num_partitions(); ++p) {
+    llc::PartitionSpec spec = setup.partitions().spec(p);
     spec.mapping = mapping;
-    remapped.add_partition(spec, setup.partitions.sharers(p));
+    remapped.add_partition(spec, setup.partitions().sharers(p));
   }
   System system(setup.config, std::move(remapped));
   sim::RandomWorkloadOptions workload;

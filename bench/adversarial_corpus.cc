@@ -1,12 +1,14 @@
 // Adversarial corpus — the WCL bound under active attack. Runs the
 // adversarial trace search (sim/adversary.h): every attack pattern
-// (conflict strides, writeback storms, slot-aligned bursts) against every
+// (conflict strides, writeback storms, slot-aligned bursts, repartition-
+// window bursts against two-mode partition programs) against every
 // partition configuration, hill-climbing on the lowest-slack cells, and
 // gates the paper's central claim in its strongest form: the observed
 // worst-case latency stays at or below the analytical bound (Wu & Patel,
-// DAC'22, Theorems 4.7/4.8 + the private bound) over the *full searched
-// grid* — workloads constructed to maximize conflict, writeback and
-// slot-alignment pressure, not just the benign figure sweeps.
+// DAC'22, Theorems 4.7/4.8 + the private bound; the transient bound for
+// dynamic-program cells) over the *full searched grid* — workloads
+// constructed to maximize conflict, writeback and slot-alignment pressure,
+// not just the benign figure sweeps.
 //
 // The search is track-sharded: one (pattern x config) track per work unit
 // (sim/shard.h), each track an independent serial hill-climb with a fixed

@@ -21,13 +21,32 @@ if(NOT out MATCHES "Theorem 4.7")
   message(FATAL_ERROR "valid invocation printed no bound:\n${out}")
 endif()
 
+# Valid: --repartition with two notations prints the transient bound and
+# its term breakdown.
+execute_process(
+  COMMAND "${WCL_CALCULATOR_BIN}" --repartition "SS(32,4,4)" "SS(32,2,4)" 4 50
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--repartition invocation exited with ${rc}\n${out}\n${err}")
+endif()
+if(NOT out MATCHES "transient WCL bound")
+  message(FATAL_ERROR "--repartition printed no transient bound:\n${out}")
+endif()
+if(NOT out MATCHES "drain bound")
+  message(FATAL_ERROR "--repartition printed no term breakdown:\n${out}")
+endif()
+
 # Malformed arguments: each must exit 2 with a diagnostic on stderr
 # ('|'-separated here because ';' is the cmake list separator).
 set(bad_invocations
     "SS(32,4,4)|four|50"      # non-numeric cores (the old atoi -> 0 bug)
     "SS(32,4,4)|4|zero"       # non-numeric slot width
     "SS(32,4,4)|0|50"         # out-of-range cores
-    "NOT_A_NOTATION")         # unparsable notation
+    "NOT_A_NOTATION"          # unparsable notation
+    "--repartition|SS(32,4,4)"                 # missing target notation
+    "--repartition|SS(32,4,4)|NOT_A_NOTATION"  # unparsable target
+    "--repartition|SS(32,4,4)|SS(32,2,4)|four" # non-numeric cores
+    "--repartition|SS(32,4,4)|SS(32,2,2)|4")   # sharer/core mismatch
 foreach(invocation IN LISTS bad_invocations)
   string(REPLACE "|" " " pretty "${invocation}")
   string(REPLACE "|" ";" invocation_args "${invocation}")

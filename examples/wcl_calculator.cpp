@@ -5,9 +5,13 @@
 //   $ ./wcl_calculator "SS(8,4,3)" 4          # notation, cores on the bus
 //   $ ./wcl_calculator "NSS(1,16,4)" 4 50     # + slot width
 //   $ ./wcl_calculator                        # table of common configs
+//   $ ./wcl_calculator --repartition "SS(32,4,4)" "SS(32,2,4)" 4 50
+//                                             # transient bound across a
+//                                             # dynamic repartitioning step
 #include <cstdio>
 #include <string>
 
+#include "common/assert.h"
 #include "common/table.h"
 #include "core/system_config.h"
 #include "core/wcl_analysis.h"
@@ -51,6 +55,48 @@ void print_for(const PartitionNotation& notation, int total_cores,
               wcl_improvement_ratio(scenario));
 }
 
+/// --repartition mode: the transient WCL bound for the drain/flush window
+/// of a from -> to partition change, with the per-term breakdown an
+/// integrator needs to size trigger cadences.
+void print_repartition(int argc, char** argv) {
+  PSLLC_CONFIG_CHECK(argc >= 4,
+                     "--repartition needs two notations: --repartition "
+                     "\"<from>\" \"<to>\" [cores] [slot_width]");
+  const auto from_notation = PartitionNotation::parse(argv[2]);
+  const auto to_notation = PartitionNotation::parse(argv[3]);
+  const int cores =
+      argc > 4
+          ? static_cast<int>(cli::parse_int_in(argv[4], "cores", 1, 1024))
+          : (from_notation.is_shared() ? from_notation.sharers : 4);
+  const Cycle slot_width =
+      argc > 5 ? cli::parse_int_in(argv[5], "slot_width", 1, 1'000'000'000)
+               : core::kPaperSlotWidth;
+
+  ExperimentSetup from_setup = make_paper_setup(argv[2], cores);
+  ExperimentSetup to_setup = make_paper_setup(argv[3], cores);
+  SystemConfig config = from_setup.config;
+  config.slot_width = slot_width;
+  const TransientWclTerms terms = transient_wcl_terms(
+      config, from_setup.partitions(), to_setup.partitions(), CoreId{0});
+
+  std::printf("repartition   : %s -> %s on %d cores, S_W = %lld cycles\n",
+              from_notation.to_string().c_str(),
+              to_notation.to_string().c_str(), cores,
+              static_cast<long long>(slot_width));
+  std::printf("  moved slot entries     : %d\n", terms.moved_entries);
+  std::printf("  drain bound            : %s cycles\n",
+              format_cycles(terms.drain_bound).c_str());
+  std::printf("  transient slot width   : %lld cycles (requeue bound %s)\n",
+              static_cast<long long>(terms.slot_width),
+              format_cycles(terms.requeue_bound).c_str());
+  std::printf("  sharer delta           : %+d over the target mode\n",
+              terms.sharer_delta);
+  std::printf("  steady bound (widened) : %s cycles\n",
+              format_cycles(terms.steady_bound).c_str());
+  std::printf("  transient WCL bound    : %s cycles\n",
+              format_cycles(terms.total()).c_str());
+}
+
 void print_default_table() {
   Table table({"configuration", "cores", "Thm 4.7", "Thm 4.8 / P bound"});
   const std::pair<const char*, int> configs[] = {
@@ -82,9 +128,15 @@ int main(int argc, char** argv) {
   try {
     if (argc < 2) {
       std::printf("usage: %s \"SS(s,w,n)|NSS(s,w,n)|P(s,w)\" [cores] "
-                  "[slot_width]\n\nCommon configurations (S_W = 50):\n",
-                  argv[0]);
+                  "[slot_width]\n       %s --repartition \"<from>\" "
+                  "\"<to>\" [cores] [slot_width]\n\n"
+                  "Common configurations (S_W = 50):\n",
+                  argv[0], argv[0]);
       print_default_table();
+      return 0;
+    }
+    if (std::string(argv[1]) == "--repartition") {
+      print_repartition(argc, argv);
       return 0;
     }
     const auto notation = core::PartitionNotation::parse(argv[1]);

@@ -8,14 +8,17 @@
 namespace psllc::core {
 
 System::System(const SystemConfig& config, llc::PartitionMap partitions)
+    : System(config, llc::PartitionProgram(std::move(partitions))) {}
+
+System::System(const SystemConfig& config, llc::PartitionProgram program)
     : config_(config),
       schedule_(config_.make_schedule()),
       memory_(config_.dram.make_backend()),
-      llc_(config_.llc, std::move(partitions), config_.mode,
-           config_.num_cores, *memory_),
+      llc_(config_.llc, std::move(program), config_.mode, config_.num_cores,
+           *memory_),
       tracker_(config_.num_cores, config_.keep_request_records) {
   config_.validate();
-  llc_.partitions().validate_covers_cores(config_.num_cores);
+  llc_.program().validate(config_.num_cores);
   cores_.reserve(static_cast<std::size_t>(config_.num_cores));
   for (int c = 0; c < config_.num_cores; ++c) {
     cores_.push_back(std::make_unique<TraceCore>(
@@ -25,7 +28,7 @@ System::System(const SystemConfig& config, llc::PartitionMap partitions)
 }
 
 System::System(const ExperimentSetup& setup)
-    : System(setup.config, setup.partitions) {}
+    : System(setup.config, setup.program) {}
 
 void System::set_trace(CoreId core_id, Trace trace) {
   core(core_id).set_trace(std::move(trace));
@@ -61,6 +64,12 @@ void System::step_slot() {
   // 1. Local execution up to the slot boundary.
   for (auto& core_ptr : cores_) {
     core_ptr->run_until(slot_start);
+  }
+  // 1b. Partition-mode transitions fire at slot boundaries: switch the map,
+  // drain incompatible residents (their back-invalidations are delivered
+  // like eviction-triggered ones), and fence before releasing new ways.
+  for (const auto& binval : llc_.advance_transition(slot_start)) {
+    deliver_back_invalidation(binval, slot_start);
   }
   // 2. Slot owner puts one message on the bus.
   const CoreId owner = schedule_.owner_of_slot(slot_index_);
@@ -99,6 +108,15 @@ void System::step_slot() {
         }
         const std::optional<mem::Evicted> victim =
             owner_core.on_response(completion, recovered_dirty);
+        const Cycle first_presented =
+            tracker_.inflight(owner).first_presented;
+        if (llc_.overlaps_transition(first_presented, completion)) {
+          const Cycle latency = completion - first_presented;
+          if (observed_transient_wcl_ == kNoCycle ||
+              latency > observed_transient_wcl_) {
+            observed_transient_wcl_ = latency;
+          }
+        }
         tracker_.on_completed(request_id, completion);
         event.request_completed = true;
         if (victim) {

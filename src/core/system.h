@@ -49,6 +49,7 @@ struct RunResult {
 class System {
  public:
   System(const SystemConfig& config, llc::PartitionMap partitions);
+  System(const SystemConfig& config, llc::PartitionProgram program);
   explicit System(const ExperimentSetup& setup);
 
   System(const System&) = delete;
@@ -107,6 +108,13 @@ class System {
     return writebacks_cancelled_;
   }
 
+  /// Max observed service latency over requests whose in-flight interval
+  /// overlapped a partition-mode transition window. kNoCycle when no
+  /// request overlapped a transition (or the program is static).
+  [[nodiscard]] Cycle observed_transient_wcl() const {
+    return observed_transient_wcl_;
+  }
+
  private:
   void deliver_back_invalidation(const llc::BackInvalidation& binval,
                                  Cycle slot_start);
@@ -122,6 +130,7 @@ class System {
   Cycle now_ = 0;
   std::int64_t slot_index_ = 0;
   std::int64_t writebacks_cancelled_ = 0;
+  Cycle observed_transient_wcl_ = kNoCycle;
   std::vector<std::function<void(const SlotEvent&)>> observers_;
 };
 

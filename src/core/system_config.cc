@@ -125,7 +125,8 @@ ExperimentSetup make_paper_setup(const PartitionNotation& notation,
     llc::PartitionMap partitions = llc::make_shared_partition(
         config.llc.geometry, sharers, notation.sets, notation.ways);
     config.validate();
-    return ExperimentSetup{config, std::move(partitions), notation};
+    return ExperimentSetup{
+        config, llc::PartitionProgram(std::move(partitions)), notation};
   }
 
   // Private partitions: contention never arises, so the contention mode is
@@ -134,7 +135,8 @@ ExperimentSetup make_paper_setup(const PartitionNotation& notation,
   llc::PartitionMap partitions = llc::make_private_partitions(
       config.llc.geometry, active_cores, notation.sets, notation.ways);
   config.validate();
-  return ExperimentSetup{config, std::move(partitions), notation};
+  return ExperimentSetup{
+      config, llc::PartitionProgram(std::move(partitions)), notation};
 }
 
 ExperimentSetup make_paper_setup(std::string_view notation, int active_cores,

@@ -78,11 +78,20 @@ struct PartitionNotation {
   [[nodiscard]] bool is_shared() const { return kind != Kind::kPrivate; }
 };
 
-/// A ready-to-run configuration for one paper experiment.
+/// A ready-to-run configuration for one paper experiment. The partition
+/// geometry is a *program* — an ordered schedule of modes. Paper setups are
+/// static (one mode); dynamic-repartitioning scenarios append further modes
+/// with trigger epochs before constructing the System/kernel.
 struct ExperimentSetup {
   SystemConfig config;
-  llc::PartitionMap partitions;
+  llc::PartitionProgram program;
   PartitionNotation notation;
+
+  /// The initial (mode-0) map — what `partitions` was before the program
+  /// refactor; static callers read the whole geometry through this.
+  [[nodiscard]] const llc::PartitionMap& partitions() const {
+    return program.initial();
+  }
 };
 
 /// Builds the paper platform for `notation` with `active_cores` cores on

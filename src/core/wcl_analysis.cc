@@ -1,6 +1,7 @@
 #include "core/wcl_analysis.h"
 
 #include <algorithm>
+#include <vector>
 
 #include "common/assert.h"
 
@@ -102,12 +103,12 @@ Boundedness classify_wcl(const bus::TdmSchedule& schedule,
                                                   : Boundedness::kBounded;
 }
 
-Cycle analytical_wcl_cycles(const ExperimentSetup& setup, CoreId cua) {
-  const SystemConfig& config = setup.config;
-  const int pid = setup.partitions.partition_of(cua);
+Cycle analytical_wcl_cycles(const SystemConfig& config,
+                            const llc::PartitionMap& map, CoreId cua) {
+  const int pid = map.partition_of(cua);
   PSLLC_CONFIG_CHECK(pid >= 0, "cua has no partition");
-  const llc::PartitionSpec& spec = setup.partitions.spec(pid);
-  const int sharers = setup.partitions.sharer_count_of(cua);
+  const llc::PartitionSpec& spec = map.spec(pid);
+  const int sharers = map.sharer_count_of(cua);
   if (sharers == 1) {
     return wcl_private_cycles(config.num_cores, config.slot_width);
   }
@@ -125,6 +126,143 @@ Cycle analytical_wcl_cycles(const ExperimentSetup& setup, CoreId cua) {
   return config.mode == llc::ContentionMode::kSetSequencer
              ? wcl_set_sequencer_cycles(scenario)
              : wcl_1s_tdm_cycles(scenario);
+}
+
+Cycle analytical_wcl_cycles(const ExperimentSetup& setup, CoreId cua) {
+  Cycle worst = 0;
+  for (int m = 0; m < setup.program.num_modes(); ++m) {
+    worst = std::max(worst, analytical_wcl_cycles(
+                                setup.config, setup.program.mode(m).map, cua));
+  }
+  return worst;
+}
+
+namespace {
+
+/// Partition id covering physical slot (set, way), or -1.
+int covering_partition(const llc::PartitionMap& map, int set, int way) {
+  for (int p = 0; p < map.num_partitions(); ++p) {
+    const llc::PartitionSpec& spec = map.spec(p);
+    if (spec.contains_set(set) && spec.contains_way(way)) {
+      return p;
+    }
+  }
+  return -1;
+}
+
+bool slot_assignment_changed(const llc::PartitionMap& from,
+                             const llc::PartitionMap& to, int set, int way) {
+  const int pf = covering_partition(from, set, way);
+  const int pt = covering_partition(to, set, way);
+  if ((pf < 0) != (pt < 0)) {
+    return true;
+  }
+  if (pf < 0) {
+    return false;  // unassigned in both maps
+  }
+  const llc::PartitionSpec& sf = from.spec(pf);
+  const llc::PartitionSpec& st = to.spec(pt);
+  return sf.first_set != st.first_set || sf.num_sets != st.num_sets ||
+         sf.first_way != st.first_way || sf.num_ways != st.num_ways ||
+         sf.mapping != st.mapping || from.sharers(pf) != to.sharers(pt);
+}
+
+}  // namespace
+
+int count_moved_slots(const llc::PartitionMap& from,
+                      const llc::PartitionMap& to) {
+  PSLLC_CONFIG_CHECK(from.geometry().num_sets == to.geometry().num_sets &&
+                         from.geometry().num_ways == to.geometry().num_ways,
+                     "maps disagree on LLC geometry");
+  int moved = 0;
+  for (int s = 0; s < from.geometry().num_sets; ++s) {
+    for (int w = 0; w < from.geometry().num_ways; ++w) {
+      moved += slot_assignment_changed(from, to, s, w) ? 1 : 0;
+    }
+  }
+  return moved;
+}
+
+TransientWclTerms transient_wcl_terms(const SystemConfig& config,
+                                      const llc::PartitionMap& from,
+                                      const llc::PartitionMap& to,
+                                      CoreId cua) {
+  const int pid_from = from.partition_of(cua);
+  const int pid_to = to.partition_of(cua);
+  PSLLC_CONFIG_CHECK(pid_from >= 0 && pid_to >= 0,
+                     "cua has no partition in one of the transition's maps");
+  const std::int64_t big_n = config.num_cores;
+
+  TransientWclTerms terms;
+  terms.slot_width = config.slot_width;
+  terms.moved_entries = count_moved_slots(from, to);
+
+  // Widened sharer set: while the drain window is open, requests of both
+  // the outgoing and the incoming sharer populations can sit ahead of cua
+  // in its (old or new) partition — bound with their union.
+  std::vector<CoreId> widened = from.sharers(pid_from);
+  for (CoreId c : to.sharers(pid_to)) {
+    if (std::find(widened.begin(), widened.end(), c) == widened.end()) {
+      widened.push_back(c);
+    }
+  }
+  const int n_trans = static_cast<int>(widened.size());
+  terms.sharer_delta = n_trans - to.sharer_count_of(cua);
+
+  // Drain term: each moved resident may require one back-inval write-back
+  // slot from its owner — at most one period (N slots) apart under the
+  // per-core drain serialization — plus the fence slot that reopens
+  // allocation. The LLC pumps drains at slot granularity, so (N+1) slots
+  // per moved entry is a safe per-entry envelope.
+  terms.drain_bound =
+      (static_cast<Cycle>(terms.moved_entries) * (big_n + 1) + 1) *
+      config.slot_width;
+
+  // Re-queue term: the map switch clears the sequencer and re-anchors
+  // pending requests; every widened sharer may re-present once, each
+  // presentation one period apart.
+  terms.requeue_bound =
+      static_cast<Cycle>(n_trans) * big_n * config.slot_width;
+
+  // Steady term widened to the union population and the larger of the two
+  // rectangles cua occupies across the transition.
+  if (n_trans == 1) {
+    terms.steady_bound =
+        wcl_private_cycles(config.num_cores, config.slot_width);
+  } else {
+    const llc::PartitionSpec& sf = from.spec(pid_from);
+    const llc::PartitionSpec& st = to.spec(pid_to);
+    SharedPartitionScenario scenario;
+    scenario.total_cores = config.num_cores;
+    scenario.sharers = n_trans;
+    scenario.partition_sets = std::max(sf.num_sets, st.num_sets);
+    scenario.partition_ways = std::max(sf.num_ways, st.num_ways);
+    scenario.cua_capacity_lines = config.private_caches.l2.capacity_lines();
+    scenario.slot_width = config.slot_width;
+    const Boundedness bounded = classify_wcl(
+        config.make_schedule(), /*partition_shared=*/true, config.mode);
+    PSLLC_CONFIG_CHECK(
+        bounded == Boundedness::kBounded,
+        "transient WCL is unbounded for this configuration (Section 4.1)");
+    terms.steady_bound = config.mode == llc::ContentionMode::kSetSequencer
+                             ? wcl_set_sequencer_cycles(scenario)
+                             : wcl_1s_tdm_cycles(scenario);
+  }
+  return terms;
+}
+
+Cycle transient_wcl_cycles(const ExperimentSetup& setup, CoreId cua) {
+  if (setup.program.is_static()) {
+    return analytical_wcl_cycles(setup, cua);
+  }
+  Cycle worst = 0;
+  for (int m = 0; m + 1 < setup.program.num_modes(); ++m) {
+    worst = std::max(
+        worst, transient_wcl_terms(setup.config, setup.program.mode(m).map,
+                                   setup.program.mode(m + 1).map, cua)
+                   .total());
+  }
+  return worst;
 }
 
 Cycle required_slot_width(const SystemConfig& config) {

@@ -95,12 +95,62 @@ enum class Boundedness : std::uint8_t { kBounded, kUnbounded };
                                        bool partition_shared,
                                        llc::ContentionMode mode);
 
-/// The analytical WCL for `cua` in a paper experiment setup (dispatches on
-/// the notation: SS -> Thm 4.8, NSS -> Thm 4.7, P -> private bound).
-/// Throws ConfigError when unbounded (never for make_paper_setup outputs,
-/// which are always 1S-TDM).
+/// The steady-state analytical WCL for `cua` under one concrete partition
+/// map (dispatches on the map: shared + sequencer -> Thm 4.8, shared
+/// best-effort -> Thm 4.7, sole sharer -> private bound). Throws
+/// ConfigError when unbounded.
+[[nodiscard]] Cycle analytical_wcl_cycles(const SystemConfig& config,
+                                          const llc::PartitionMap& map,
+                                          CoreId cua);
+
+/// The analytical WCL for `cua` in a paper experiment setup. For a static
+/// program this is the classic per-notation bound; for a multi-mode program
+/// it is the max steady-state bound over all modes (transitions themselves
+/// are covered by transient_wcl_cycles). Throws ConfigError when unbounded
+/// (never for make_paper_setup outputs, which are always 1S-TDM).
 [[nodiscard]] Cycle analytical_wcl_cycles(const ExperimentSetup& setup,
                                           CoreId cua);
+
+/// Physical LLC slots whose partition assignment (covering rectangle or
+/// sharer set) differs between `from` and `to` — exactly the slots the
+/// transition protocol freezes, and an upper bound on the residents it
+/// drains.
+[[nodiscard]] int count_moved_slots(const llc::PartitionMap& from,
+                                    const llc::PartitionMap& to);
+
+/// Term breakdown of the transient WCL bound across one mode transition.
+/// A request in flight across the transition pays, beyond a steady-state
+/// service, for (a) the drain: every moved resident may need a back-inval
+/// write-back slot from its owner plus the fence slot, (b) the sequencer
+/// re-queue: pending requests of every (old or new) sharer re-present
+/// once after the map switch, and (c) a steady-state term widened to the
+/// union sharer set and the larger of the two partition rectangles —
+/// during the window both populations contend for the partition.
+struct TransientWclTerms {
+  Cycle steady_bound = 0;   ///< widened steady-state service term
+  Cycle drain_bound = 0;    ///< moved-resident write-back drain + fence
+  Cycle requeue_bound = 0;  ///< sequencer re-queue after the map switch
+  int moved_entries = 0;    ///< frozen slots (count_moved_slots)
+  int sharer_delta = 0;     ///< widened n minus the new mode's steady n
+  Cycle slot_width = kPaperSlotWidth;
+
+  [[nodiscard]] Cycle total() const {
+    return steady_bound + drain_bound + requeue_bound;
+  }
+};
+
+/// The transient bound for `cua` across the `from` -> `to` transition.
+/// Throws ConfigError when either steady state is unbounded or `cua` has
+/// no partition in either map.
+[[nodiscard]] TransientWclTerms transient_wcl_terms(
+    const SystemConfig& config, const llc::PartitionMap& from,
+    const llc::PartitionMap& to, CoreId cua);
+
+/// Max transient bound over every transition of the setup's program.
+/// Static programs have no transition: returns the steady bound, so the
+/// invariant transient >= steady holds degenerately with equality.
+[[nodiscard]] Cycle transient_wcl_cycles(const ExperimentSetup& setup,
+                                         CoreId cua);
 
 /// The system-model term every slot-count bound above multiplies out: all
 /// WCL theorems assume an LLC fill (lookup + memory fetch) completes inside

@@ -34,7 +34,9 @@
 
 #include <cstdint>
 #include <optional>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
@@ -112,6 +114,10 @@ struct LlcStats {
   /// Write requests to lines privately shared by other cores (coherence
   /// would be required; flagged because it is outside the paper's model).
   std::int64_t shared_write_flags = 0;
+  // --- dynamic repartitioning (all zero for static programs) ---
+  std::int64_t repartitions = 0;        ///< mode transitions begun
+  std::int64_t drain_writebacks = 0;    ///< dirty drain lines written to DRAM
+  std::int64_t drain_back_invals = 0;   ///< back-invalidations issued by drains
 };
 
 template <typename Memory = mem::MemoryBackend>
@@ -121,12 +127,52 @@ class BasicPartitionedLlc {
 
   /// `memory` (the backing-store model behind the LLC) must outlive the
   /// LLC. `num_cores` sizes pending-request state and the set sequencer.
+  BasicPartitionedLlc(const LlcConfig& config, PartitionProgram program,
+                      ContentionMode mode, int num_cores, Memory& memory);
+
+  /// Static-map convenience: a single-mode program.
   BasicPartitionedLlc(const LlcConfig& config, PartitionMap partitions,
                       ContentionMode mode, int num_cores, Memory& memory);
 
   [[nodiscard]] const LlcConfig& config() const { return config_; }
-  [[nodiscard]] const PartitionMap& partitions() const { return partitions_; }
+  /// The *currently active* mode's map (mode 0 until the first transition).
+  [[nodiscard]] const PartitionMap& partitions() const {
+    return program_.mode(mode_index_).map;
+  }
+  [[nodiscard]] const PartitionProgram& program() const { return program_; }
   [[nodiscard]] ContentionMode mode() const { return mode_; }
+
+  // --- mode-transition protocol ------------------------------------------
+  //
+  // Both replay engines call advance_transition() at the top of every
+  // executed slot, before the bus message is picked. When a mode epoch has
+  // been reached it switches the active map, freezes every (set, way) slot
+  // whose partition assignment changed, and starts draining incompatible
+  // resident lines: ownerless lines are written back to DRAM immediately,
+  // privately-owned lines are back-invalidated (one outstanding
+  // drain-invalidation per owner core at a time, so forced write-backs
+  // cannot overflow the bounded pending-writeback queues). Frozen slots
+  // become allocatable only at the drain fence — the slot at which the
+  // last incompatible line has left the cache.
+
+  /// Begins/advances any due transition; returns the back-invalidations the
+  /// system must deliver to private caches this slot.
+  [[nodiscard]] std::vector<BackInvalidation> advance_transition(
+      Cycle slot_start);
+
+  /// True between a transition's begin and its drain fence.
+  [[nodiscard]] bool transition_active() const { return transition_active_; }
+
+  /// Epoch of the next not-yet-begun mode, or kNoCycle when none remain.
+  [[nodiscard]] Cycle next_transition_epoch() const {
+    return mode_index_ + 1 < program_.num_modes()
+               ? program_.mode(mode_index_ + 1).start_cycle
+               : kNoCycle;
+  }
+
+  /// True when [a, b] intersects any transition window (begin..fence, with
+  /// a still-open window extending to +inf).
+  [[nodiscard]] bool overlaps_transition(Cycle a, Cycle b) const;
 
   /// Presents `core`'s request for `line` (first time or retry) in its
   /// slot. `access` is used for diagnostics only: a write request to a line
@@ -202,6 +248,12 @@ class BasicPartitionedLlc {
   struct EntryState {
     bool pending_inval = false;
     int pending_acks = 0;
+    /// Line is incompatible with the active mode and must leave the cache
+    /// before the drain fence.
+    bool draining = false;
+    /// This drain's back-invalidation has been issued (drain bookkeeping
+    /// owns the per-core serialization counters).
+    bool drain_issued = false;
   };
 
   [[nodiscard]] int partition_of_checked(CoreId core) const;
@@ -231,8 +283,28 @@ class BasicPartitionedLlc {
   WritebackOutcome apply_back_inval_ack(CoreId core, LineAddr line,
                                         bool dirty_data, Cycle now);
 
+  // --- transition internals ----------------------------------------------
+  [[nodiscard]] bool slot_frozen(int physical_set, int way) const {
+    return !frozen_.empty() &&
+           frozen_[static_cast<std::size_t>(physical_set) *
+                       static_cast<std::size_t>(config_.geometry.num_ways) +
+                   static_cast<std::size_t>(way)];
+  }
+  /// (set, way) of `line` anywhere in the cache, or (-1, -1). Acks and
+  /// write-backs issued before a mode switch may reference pre-transition
+  /// locations the active map no longer describes.
+  [[nodiscard]] std::pair<int, int> locate_line(LineAddr line) const;
+  /// True when the resident entry at (set, way) is placed where the active
+  /// map would place it and all its sharers belong to that partition.
+  [[nodiscard]] bool entry_compatible(int physical_set, int way) const;
+  void begin_transition(Cycle slot_start);
+  void pump_drain(Cycle slot_start, std::vector<BackInvalidation>& out);
+  void complete_transition(Cycle slot_start);
+  void free_drained_entry(int physical_set, int way, Cycle now);
+
   LlcConfig config_;
-  PartitionMap partitions_;
+  PartitionProgram program_;
+  int mode_index_ = 0;
   ContentionMode mode_;
   Memory* memory_;
   std::vector<mem::CacheSet> sets_;
@@ -240,6 +312,14 @@ class BasicPartitionedLlc {
   InclusiveDirectory directory_;
   SetSequencer sequencer_;
   std::vector<std::optional<Pending>> pending_;
+  // Transition state (empty/false for static programs).
+  bool transition_active_ = false;
+  std::vector<bool> frozen_;  ///< sets x ways; non-empty only mid-transition
+  std::vector<std::pair<int, int>> drain_queue_;  ///< (set, way) scan order
+  std::set<LineAddr> draining_lines_;
+  int drain_remaining_ = 0;
+  std::vector<int> core_drain_busy_;  ///< outstanding drain invals per core
+  std::vector<std::pair<Cycle, Cycle>> transition_windows_;
   Stats stats_;
 };
 

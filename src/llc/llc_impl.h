@@ -20,22 +20,24 @@ namespace psllc::llc {
 
 template <typename Memory>
 BasicPartitionedLlc<Memory>::BasicPartitionedLlc(const LlcConfig& config,
-                                                 PartitionMap partitions,
+                                                 PartitionProgram program,
                                                  ContentionMode mode,
                                                  int num_cores, Memory& memory)
     : config_(config),
-      partitions_(std::move(partitions)),
+      program_(std::move(program)),
       mode_(mode),
       memory_(&memory),
       sequencer_(num_cores, num_cores),
-      pending_(static_cast<std::size_t>(num_cores)) {
+      pending_(static_cast<std::size_t>(num_cores)),
+      core_drain_busy_(static_cast<std::size_t>(num_cores), 0) {
   config_.validate();
   PSLLC_CONFIG_CHECK(num_cores > 0, "need >=1 core");
+  PSLLC_CONFIG_CHECK(program_.num_modes() > 0, "partition program is empty");
   PSLLC_CONFIG_CHECK(
-      partitions_.geometry().num_sets == config_.geometry.num_sets &&
-          partitions_.geometry().num_ways == config_.geometry.num_ways &&
-          partitions_.geometry().line_bytes == config_.geometry.line_bytes,
-      "partition map geometry differs from LLC geometry");
+      program_.geometry().num_sets == config_.geometry.num_sets &&
+          program_.geometry().num_ways == config_.geometry.num_ways &&
+          program_.geometry().line_bytes == config_.geometry.line_bytes,
+      "partition program geometry differs from LLC geometry");
   sets_.reserve(static_cast<std::size_t>(config_.geometry.num_sets));
   entry_states_.reserve(static_cast<std::size_t>(config_.geometry.num_sets));
   for (int s = 0; s < config_.geometry.num_sets; ++s) {
@@ -50,8 +52,16 @@ BasicPartitionedLlc<Memory>::BasicPartitionedLlc(const LlcConfig& config,
 }
 
 template <typename Memory>
+BasicPartitionedLlc<Memory>::BasicPartitionedLlc(const LlcConfig& config,
+                                                 PartitionMap partitions,
+                                                 ContentionMode mode,
+                                                 int num_cores, Memory& memory)
+    : BasicPartitionedLlc(config, PartitionProgram(std::move(partitions)),
+                          mode, num_cores, memory) {}
+
+template <typename Memory>
 int BasicPartitionedLlc<Memory>::partition_of_checked(CoreId core) const {
-  const int pid = partitions_.partition_of(core);
+  const int pid = partitions().partition_of(core);
   PSLLC_ASSERT(pid >= 0, to_string(core) << " has no LLC partition");
   return pid;
 }
@@ -103,7 +113,7 @@ int BasicPartitionedLlc<Memory>::find_free_way(const PartitionSpec& spec,
                                                int physical_set) const {
   const mem::CacheSet& set = set_at(physical_set);
   for (int w = spec.first_way; w < spec.first_way + spec.num_ways; ++w) {
-    if (!set.way(w).valid()) {
+    if (!set.way(w).valid() && !slot_frozen(physical_set, w)) {
       return w;
     }
   }
@@ -116,7 +126,7 @@ int BasicPartitionedLlc<Memory>::count_free_ways(const PartitionSpec& spec,
   const mem::CacheSet& set = set_at(physical_set);
   int count = 0;
   for (int w = spec.first_way; w < spec.first_way + spec.num_ways; ++w) {
-    count += set.way(w).valid() ? 0 : 1;
+    count += (!set.way(w).valid() && !slot_frozen(physical_set, w)) ? 1 : 0;
   }
   return count;
 }
@@ -124,9 +134,12 @@ int BasicPartitionedLlc<Memory>::count_free_ways(const PartitionSpec& spec,
 template <typename Memory>
 int BasicPartitionedLlc<Memory>::count_pending_invals(
     const PartitionSpec& spec, int physical_set) const {
+  // Draining entries count as supply too: the drain frees them, and the
+  // fence (which cannot outlast the drain) unfreezes their slots.
   int count = 0;
   for (int w = spec.first_way; w < spec.first_way + spec.num_ways; ++w) {
-    count += entry_state(physical_set, w).pending_inval ? 1 : 0;
+    const EntryState& state = entry_state(physical_set, w);
+    count += (state.pending_inval || state.draining) ? 1 : 0;
   }
   return count;
 }
@@ -174,7 +187,7 @@ RequestOutcome BasicPartitionedLlc<Memory>::handle_request(CoreId core,
     }
   }
   const int pid = partition_of_checked(core);
-  const PartitionSpec& spec = partitions_.spec(pid);
+  const PartitionSpec& spec = partitions().spec(pid);
   const int pset = spec.map_set(line);
   PSLLC_AUDIT(spec.contains_set(pset),
               "mapped set " << pset << " escapes partition " << pid << " "
@@ -191,9 +204,11 @@ RequestOutcome BasicPartitionedLlc<Memory>::handle_request(CoreId core,
                      << " (one outstanding request per core)");
   }
 
-  // --- hit path ---
+  // --- hit path --- (draining entries are on their way out of the cache
+  // and must not serve hits: the requester waits for the fresh fill)
   const int hit_way = find_way_raw(spec, pset, line);
-  if (hit_way >= 0 && !entry_state(pset, hit_way).pending_inval) {
+  if (hit_way >= 0 && !entry_state(pset, hit_way).pending_inval &&
+      !entry_state(pset, hit_way).draining) {
     set.touch(hit_way);
     if (!directory_.is_shared_by(line, core)) {
       directory_.add_sharer(line, core);
@@ -217,9 +232,11 @@ RequestOutcome BasicPartitionedLlc<Memory>::handle_request(CoreId core,
   for (;;) {
     // Allocation requires a free way, permission from the contention mode,
     // and no stale copy of the same line still draining out of the set
-    // (pending invalidation).
+    // (pending invalidation) — nor out of a pre-transition location
+    // elsewhere in the cache (draining_lines_).
     if (find_free_way(spec, pset) >= 0 && may_allocate(key, core) &&
-        find_way_raw(spec, pset, line) < 0) {
+        find_way_raw(spec, pset, line) < 0 &&
+        draining_lines_.find(line) == draining_lines_.end()) {
       const int way = find_free_way(spec, pset);
       PSLLC_AUDIT(spec.contains_way(way),
                   "allocated way " << way << " escapes partition " << pid
@@ -268,7 +285,8 @@ RequestOutcome BasicPartitionedLlc<Memory>::handle_request(CoreId core,
         static_cast<std::size_t>(config_.geometry.num_ways), false);
     bool any = false;
     for (int w = spec.first_way; w < spec.first_way + spec.num_ways; ++w) {
-      if (set.way(w).valid() && !entry_state(pset, w).pending_inval) {
+      if (set.way(w).valid() && !entry_state(pset, w).pending_inval &&
+          !entry_state(pset, w).draining) {
         eligible[static_cast<std::size_t>(w)] = true;
         any = true;
       }
@@ -336,9 +354,16 @@ WritebackOutcome BasicPartitionedLlc<Memory>::handle_writeback(
   }
   ++stats_.voluntary_writebacks;
   const int pid = partition_of_checked(core);
-  const PartitionSpec& spec = partitions_.spec(pid);
-  const int pset = spec.map_set(line);
-  const int way = find_way_raw(spec, pset, line);
+  const PartitionSpec& spec = partitions().spec(pid);
+  int pset = spec.map_set(line);
+  int way = find_way_raw(spec, pset, line);
+  if (way < 0) {
+    // A write-back queued before a mode switch may target a line still
+    // resident at its pre-transition location.
+    const auto [fallback_set, fallback_way] = locate_line(line);
+    pset = fallback_set;
+    way = fallback_way;
+  }
   PSLLC_ASSERT(way >= 0, "voluntary write-back for line 0x"
                              << std::hex << line
                              << " absent from inclusive LLC");
@@ -359,9 +384,16 @@ template <typename Memory>
 WritebackOutcome BasicPartitionedLlc<Memory>::apply_back_inval_ack(
     CoreId core, LineAddr line, bool dirty_data, Cycle now) {
   const int pid = partition_of_checked(core);
-  const PartitionSpec& spec = partitions_.spec(pid);
-  const int pset = spec.map_set(line);
-  const int way = find_way_raw(spec, pset, line);
+  const PartitionSpec& spec = partitions().spec(pid);
+  int pset = spec.map_set(line);
+  int way = find_way_raw(spec, pset, line);
+  if (way < 0) {
+    // Acks for drain invalidations (and for evictions started before a
+    // mode switch) may reference pre-transition locations.
+    const auto [fallback_set, fallback_way] = locate_line(line);
+    pset = fallback_set;
+    way = fallback_way;
+  }
   PSLLC_ASSERT(way >= 0, "back-invalidation ack for line 0x"
                              << std::hex << line << " not in LLC");
   EntryState& state = entry_state(pset, way);
@@ -369,6 +401,11 @@ WritebackOutcome BasicPartitionedLlc<Memory>::apply_back_inval_ack(
                "ack for line 0x" << std::hex << line
                                  << " that is not pending invalidation");
   PSLLC_ASSERT(state.pending_acks > 0, "pending_acks underflow");
+  if (state.drain_issued) {
+    auto& busy = core_drain_busy_[static_cast<std::size_t>(core.value)];
+    PSLLC_ASSERT(busy > 0, "drain ack without an outstanding drain inval");
+    --busy;
+  }
   const bool removed = directory_.remove_sharer(line, core);
   PSLLC_ASSERT(removed, to_string(core)
                             << " acked line 0x" << std::hex << line
@@ -384,11 +421,15 @@ WritebackOutcome BasicPartitionedLlc<Memory>::apply_back_inval_ack(
   // Last ack: the entry becomes free. Dirty data drains to DRAM.
   PSLLC_ASSERT(directory_.sharer_count(line) == 0,
                "directory still has sharers after the last ack");
-  if (set.way(way).dirty()) {
-    (void)memory_->write(line, now);
+  if (state.draining) {
+    free_drained_entry(pset, way, now);
+  } else {
+    if (set.way(way).dirty()) {
+      (void)memory_->write(line, now);
+    }
+    set.invalidate(way);
+    state = EntryState{};
   }
-  set.invalidate(way);
-  state = EntryState{};
   return WritebackOutcome{true};
 }
 
@@ -441,21 +482,21 @@ BasicPartitionedLlc<Memory>::entry(int physical_set, int way) const {
 template <typename Memory>
 int BasicPartitionedLlc<Memory>::find_way(CoreId core, LineAddr line) const {
   const int pid = partition_of_checked(core);
-  const PartitionSpec& spec = partitions_.spec(pid);
+  const PartitionSpec& spec = partitions().spec(pid);
   return find_way_raw(spec, spec.map_set(line), line);
 }
 
 template <typename Memory>
 int BasicPartitionedLlc<Memory>::free_ways(CoreId core, LineAddr line) const {
   const int pid = partition_of_checked(core);
-  const PartitionSpec& spec = partitions_.spec(pid);
+  const PartitionSpec& spec = partitions().spec(pid);
   return count_free_ways(spec, spec.map_set(line));
 }
 
 template <typename Memory>
 SetKey BasicPartitionedLlc<Memory>::key_for(CoreId core, LineAddr line) const {
   const int pid = partition_of_checked(core);
-  return SetKey{pid, partitions_.spec(pid).map_set(line)};
+  return SetKey{pid, partitions().spec(pid).map_set(line)};
 }
 
 template <typename Memory>
@@ -478,7 +519,7 @@ void BasicPartitionedLlc<Memory>::preload(LineAddr line,
   // Map through the partition of the first sharer, or partition 0 when the
   // line has no private copies.
   const int pid = sharers.empty() ? 0 : partition_of_checked(sharers.front());
-  const PartitionSpec& spec = partitions_.spec(pid);
+  const PartitionSpec& spec = partitions().spec(pid);
   const int pset = spec.map_set(line);
   PSLLC_ASSERT(find_way_raw(spec, pset, line) < 0,
                "preload of already-present line");
@@ -487,10 +528,260 @@ void BasicPartitionedLlc<Memory>::preload(LineAddr line,
   set_at(pset).insert(line, way,
                       dirty ? mem::LineState::kDirty : mem::LineState::kClean);
   for (CoreId c : sharers) {
-    PSLLC_ASSERT(partitions_.partition_of(c) == pid,
+    PSLLC_ASSERT(partitions().partition_of(c) == pid,
                  "preload sharers must share one partition");
     directory_.add_sharer(line, c);
   }
+}
+
+// --- mode-transition protocol ------------------------------------------
+
+template <typename Memory>
+std::pair<int, int> BasicPartitionedLlc<Memory>::locate_line(
+    LineAddr line) const {
+  for (int s = 0; s < config_.geometry.num_sets; ++s) {
+    const mem::CacheSet& set = set_at(s);
+    for (int w = 0; w < config_.geometry.num_ways; ++w) {
+      if (set.way(w).valid() && set.way(w).line == line) {
+        return {s, w};
+      }
+    }
+  }
+  return {-1, -1};
+}
+
+template <typename Memory>
+bool BasicPartitionedLlc<Memory>::entry_compatible(int physical_set,
+                                                   int way) const {
+  const mem::LineMeta& meta = set_at(physical_set).way(way);
+  PSLLC_ASSERT(meta.valid(), "compatibility check on an invalid entry");
+  const PartitionMap& map = partitions();
+  for (int p = 0; p < map.num_partitions(); ++p) {
+    const PartitionSpec& spec = map.spec(p);
+    if (!spec.contains_set(physical_set) || !spec.contains_way(way)) {
+      continue;
+    }
+    if (spec.map_set(meta.line) != physical_set) {
+      return false;  // placed where the new mapping would not place it
+    }
+    for (const CoreId sharer : directory_.sharers(meta.line)) {
+      if (map.partition_of(sharer) != p) {
+        return false;  // privately held by a core outside this partition
+      }
+    }
+    return true;
+  }
+  return false;  // no partition covers this slot in the new mode
+}
+
+template <typename Memory>
+std::vector<BackInvalidation> BasicPartitionedLlc<Memory>::advance_transition(
+    Cycle slot_start) {
+  std::vector<BackInvalidation> out;
+  if (program_.is_static() && !transition_active_) {
+    return out;  // static programs never transition (the common fast path)
+  }
+  if (!transition_active_) {
+    const Cycle epoch = next_transition_epoch();
+    if (epoch == kNoCycle || slot_start < epoch) {
+      return out;
+    }
+    begin_transition(slot_start);
+  }
+  pump_drain(slot_start, out);
+  if (drain_remaining_ == 0) {
+    complete_transition(slot_start);
+  }
+  return out;
+}
+
+template <typename Memory>
+void BasicPartitionedLlc<Memory>::begin_transition(Cycle slot_start) {
+  ++mode_index_;
+  ++stats_.repartitions;
+  transition_active_ = true;
+  transition_windows_.emplace_back(slot_start, kNoCycle);
+
+  // Freeze every slot whose covering (rectangle, sharers) assignment
+  // changed between the two modes; arriving ways become allocatable only
+  // at the drain fence.
+  const PartitionMap& from = program_.mode(mode_index_ - 1).map;
+  const PartitionMap& to = program_.mode(mode_index_).map;
+  frozen_.assign(static_cast<std::size_t>(config_.geometry.num_sets) *
+                     static_cast<std::size_t>(config_.geometry.num_ways),
+                 false);
+  auto covering = [](const PartitionMap& map, int s, int w) {
+    for (int p = 0; p < map.num_partitions(); ++p) {
+      if (map.spec(p).contains_set(s) && map.spec(p).contains_way(w)) {
+        return p;
+      }
+    }
+    return -1;
+  };
+  auto assignment_changed = [&](int s, int w) {
+    const int fp = covering(from, s, w);
+    const int tp = covering(to, s, w);
+    if ((fp < 0) != (tp < 0)) {
+      return true;
+    }
+    if (fp < 0) {
+      return false;  // uncovered in both modes
+    }
+    const PartitionSpec& fs = from.spec(fp);
+    const PartitionSpec& ts = to.spec(tp);
+    return fs.first_set != ts.first_set || fs.num_sets != ts.num_sets ||
+           fs.first_way != ts.first_way || fs.num_ways != ts.num_ways ||
+           fs.mapping != ts.mapping || from.sharers(fp) != to.sharers(tp);
+  };
+  for (int s = 0; s < config_.geometry.num_sets; ++s) {
+    for (int w = 0; w < config_.geometry.num_ways; ++w) {
+      if (assignment_changed(s, w)) {
+        frozen_[static_cast<std::size_t>(s) *
+                    static_cast<std::size_t>(config_.geometry.num_ways) +
+                static_cast<std::size_t>(w)] = true;
+      }
+    }
+  }
+
+  // Classify residents: incompatible lines must drain. Scan order (set-
+  // major, way-minor) fixes the drain issue order deterministically.
+  drain_queue_.clear();
+  draining_lines_.clear();
+  drain_remaining_ = 0;
+  for (int s = 0; s < config_.geometry.num_sets; ++s) {
+    for (int w = 0; w < config_.geometry.num_ways; ++w) {
+      if (!set_at(s).way(w).valid() || entry_compatible(s, w)) {
+        continue;
+      }
+      EntryState& state = entry_state(s, w);
+      state.draining = true;
+      // Evictions already in flight keep their issued acks; the drain
+      // only adopts them (drain_issued stays false — their owners were
+      // charged by the original eviction, not the drain serializer).
+      drain_queue_.emplace_back(s, w);
+      draining_lines_.insert(set_at(s).way(w).line);
+      ++drain_remaining_;
+    }
+  }
+
+  // The mode's partition ids renumber SetKeys: reset ordering state and
+  // re-anchor every pending request under the new map. Blocked cores
+  // re-enqueue deterministically at their next presentation.
+  sequencer_.clear();
+  for (std::size_t c = 0; c < pending_.size(); ++c) {
+    auto& pending = pending_[c];
+    if (!pending) {
+      continue;
+    }
+    const int pid = partition_of_checked(CoreId{static_cast<int>(c)});
+    pending->partition = pid;
+    pending->physical_set = partitions().spec(pid).map_set(pending->line);
+  }
+}
+
+template <typename Memory>
+void BasicPartitionedLlc<Memory>::pump_drain(
+    Cycle slot_start, std::vector<BackInvalidation>& out) {
+  for (const auto& [s, w] : drain_queue_) {
+    const mem::CacheSet& set = set_at(s);
+    EntryState& state = entry_state(s, w);
+    if (!set.way(w).valid() || !state.draining) {
+      continue;  // already freed by an earlier ack or pump
+    }
+    if (state.pending_inval) {
+      continue;  // invalidation in flight (drain-issued or pre-transition)
+    }
+    const LineAddr line = set.way(w).line;
+    const std::vector<CoreId> owners = directory_.sharers(line);
+    if (owners.empty()) {
+      // No private copies: free within this slot; dirty data drains
+      // through the bounded write queue off the critical path.
+      free_drained_entry(s, w, slot_start);
+      continue;
+    }
+    // Serialize drain invalidations per owner core: a core is asked for at
+    // most one outstanding drain write-back at a time, so the drain can
+    // never flood a core's pending-writeback buffer.
+    bool owners_free = true;
+    for (const CoreId owner : owners) {
+      owners_free = owners_free &&
+                    core_drain_busy_[static_cast<std::size_t>(
+                        owner.value)] == 0;
+    }
+    if (!owners_free) {
+      continue;
+    }
+    state.pending_inval = true;
+    state.pending_acks = static_cast<int>(owners.size());
+    state.drain_issued = true;
+    for (const CoreId owner : owners) {
+      ++core_drain_busy_[static_cast<std::size_t>(owner.value)];
+    }
+    ++stats_.drain_back_invals;
+    out.push_back(BackInvalidation{line, owners});
+  }
+}
+
+template <typename Memory>
+void BasicPartitionedLlc<Memory>::free_drained_entry(int physical_set,
+                                                     int way, Cycle now) {
+  mem::CacheSet& set = set_at(physical_set);
+  const LineAddr line = set.way(way).line;
+  if (set.way(way).dirty()) {
+    (void)memory_->write(line, now);
+    ++stats_.drain_writebacks;
+    // Drain write-backs go through the same bounded write queue as demand
+    // traffic; the per-core serialization above keeps them within it.
+    PSLLC_AUDIT(memory_->pending_queue_depth() <=
+                    memory_->config().wq_capacity,
+                "drain write-backs overflowed the write queue: "
+                    << memory_->pending_queue_depth() << " > "
+                    << memory_->config().wq_capacity);
+  }
+  set.invalidate(way);
+  entry_state(physical_set, way) = EntryState{};
+  draining_lines_.erase(line);
+  PSLLC_ASSERT(drain_remaining_ > 0, "drain_remaining underflow");
+  --drain_remaining_;
+}
+
+template <typename Memory>
+void BasicPartitionedLlc<Memory>::complete_transition(Cycle slot_start) {
+  PSLLC_ASSERT(transition_active_ && drain_remaining_ == 0,
+               "fence before the drain finished");
+  frozen_.clear();
+  drain_queue_.clear();
+  PSLLC_ASSERT(draining_lines_.empty(),
+               "drained lines left behind at the fence");
+  transition_active_ = false;
+  transition_windows_.back().second = slot_start;
+#ifdef PSLLC_AUDIT_ENABLED
+  // Containment after the fence: every resident line (modulo evictions
+  // still in flight) sits inside its current mode's rectangle.
+  for (int s = 0; s < config_.geometry.num_sets; ++s) {
+    for (int w = 0; w < config_.geometry.num_ways; ++w) {
+      if (!set_at(s).way(w).valid() || entry_state(s, w).pending_inval) {
+        continue;
+      }
+      PSLLC_AUDIT(entry_compatible(s, w),
+                  "line 0x" << std::hex << set_at(s).way(w).line << std::dec
+                            << " at set " << s << " way " << w
+                            << " outside its mode-" << mode_index_
+                            << " rectangle after the drain fence");
+    }
+  }
+#endif
+}
+
+template <typename Memory>
+bool BasicPartitionedLlc<Memory>::overlaps_transition(Cycle a,
+                                                      Cycle b) const {
+  for (const auto& [begin, end] : transition_windows_) {
+    if (begin <= b && (end == kNoCycle || end >= a)) {
+      return true;
+    }
+  }
+  return false;
 }
 
 template <typename Memory>

@@ -103,6 +103,82 @@ void PartitionMap::validate_covers_cores(int num_cores) const {
   }
 }
 
+PartitionProgram::PartitionProgram(PartitionMap map)
+    : geometry_(map.geometry()) {
+  modes_.push_back(PartitionMode{std::move(map), 0, {}, "static"});
+}
+
+PartitionProgram::PartitionProgram(const mem::CacheGeometry& geometry)
+    : geometry_(geometry) {
+  geometry_.validate();
+}
+
+void PartitionProgram::add_mode(PartitionMap map, Cycle start_cycle,
+                                std::vector<AppClass> core_class,
+                                std::string label) {
+  PSLLC_CONFIG_CHECK(map.geometry().num_sets == geometry_.num_sets &&
+                         map.geometry().num_ways == geometry_.num_ways &&
+                         map.geometry().line_bytes == geometry_.line_bytes,
+                     "mode geometry " << map.geometry().to_string()
+                                      << " differs from program geometry "
+                                      << geometry_.to_string());
+  if (modes_.empty()) {
+    PSLLC_CONFIG_CHECK(start_cycle == 0,
+                       "mode 0 must start at cycle 0, got " << start_cycle);
+  } else {
+    PSLLC_CONFIG_CHECK(start_cycle > modes_.back().start_cycle,
+                       "mode epochs must be strictly increasing: "
+                           << start_cycle << " after "
+                           << modes_.back().start_cycle);
+  }
+  modes_.push_back(PartitionMode{std::move(map), start_cycle,
+                                 std::move(core_class), std::move(label)});
+}
+
+const PartitionMode& PartitionProgram::mode(int index) const {
+  PSLLC_ASSERT(index >= 0 && index < num_modes(), "mode index " << index);
+  return modes_[static_cast<std::size_t>(index)];
+}
+
+const PartitionMap& PartitionProgram::initial() const {
+  PSLLC_ASSERT(!modes_.empty(), "empty partition program");
+  return modes_.front().map;
+}
+
+int PartitionProgram::mode_index_at(Cycle now) const {
+  PSLLC_ASSERT(!modes_.empty(), "empty partition program");
+  int index = 0;
+  for (int m = 1; m < num_modes(); ++m) {
+    if (modes_[static_cast<std::size_t>(m)].start_cycle <= now) {
+      index = m;
+    }
+  }
+  return index;
+}
+
+void PartitionProgram::validate(int num_cores) const {
+  PSLLC_CONFIG_CHECK(!modes_.empty(), "partition program has no modes");
+  PSLLC_CONFIG_CHECK(modes_.front().start_cycle == 0,
+                     "mode 0 must start at cycle 0");
+  for (std::size_t m = 0; m < modes_.size(); ++m) {
+    const PartitionMode& mode = modes_[m];
+    if (m > 0) {
+      PSLLC_CONFIG_CHECK(mode.start_cycle > modes_[m - 1].start_cycle,
+                         "mode epochs must be strictly increasing");
+    }
+    mode.map.validate_covers_cores(num_cores);
+    PSLLC_CONFIG_CHECK(
+        mode.core_class.empty() ||
+            static_cast<int>(mode.core_class.size()) >= num_cores,
+        "mode " << m << " labels " << mode.core_class.size()
+                << " cores, platform has " << num_cores);
+  }
+}
+
+const mem::CacheGeometry& PartitionProgram::geometry() const {
+  return geometry_;
+}
+
 PartitionMap make_private_partitions(const mem::CacheGeometry& geometry,
                                      int num_cores, int sets_per_core,
                                      int ways_per_core) {
@@ -132,6 +208,30 @@ PartitionMap make_shared_partition(const mem::CacheGeometry& geometry,
   PartitionMap map(geometry);
   map.add_partition(PartitionSpec{0, num_sets, 0, num_ways}, sharers);
   return map;
+}
+
+PartitionMap make_way_bounced_map(const PartitionMap& map, int way_bounce) {
+  PSLLC_CONFIG_CHECK(way_bounce >= 0, "way bounce must be >= 0");
+  const mem::CacheGeometry& geometry = map.geometry();
+  // A uniform shift preserves every pairwise relation, so it is legal iff
+  // the right-most rectangle still fits.
+  bool can_shift = way_bounce > 0;
+  for (int p = 0; p < map.num_partitions() && can_shift; ++p) {
+    const PartitionSpec& spec = map.spec(p);
+    can_shift = spec.first_way + spec.num_ways + way_bounce <=
+                geometry.num_ways;
+  }
+  PartitionMap bounced(geometry);
+  for (int p = 0; p < map.num_partitions(); ++p) {
+    PartitionSpec spec = map.spec(p);
+    if (can_shift) {
+      spec.first_way += way_bounce;
+    } else {
+      spec.num_ways = std::max(1, spec.num_ways - way_bounce);
+    }
+    bounced.add_partition(spec, map.sharers(p));
+  }
+  return bounced;
 }
 
 }  // namespace psllc::llc

@@ -104,6 +104,79 @@ class PartitionMap {
   std::vector<int> core_to_partition_;  // indexed by core id, -1 = none
 };
 
+/// Application class of a core's workload within one mode, in the
+/// LFOC-style light/streaming/sensitive clustering: `kSensitive` workloads
+/// motivate isolation, `kStreaming` ones pollute without reuse, `kLight`
+/// ones fit their private caches. Labels are advisory metadata carried by
+/// the mode schedule (planners cluster on them; the LLC model does not
+/// read them).
+enum class AppClass : std::uint8_t { kLight, kStreaming, kSensitive };
+
+[[nodiscard]] constexpr const char* to_string(AppClass c) {
+  switch (c) {
+    case AppClass::kLight:
+      return "light";
+    case AppClass::kStreaming:
+      return "streaming";
+    default:
+      return "sensitive";
+  }
+}
+
+/// One operating mode of a time-varying partition schedule: a full
+/// PartitionMap active from `start_cycle` onward, plus per-core
+/// application-class labels.
+struct PartitionMode {
+  PartitionMap map;
+  Cycle start_cycle = 0;
+  std::vector<AppClass> core_class;  ///< indexed by core; may be empty
+  std::string label;
+};
+
+/// A versioned partition schedule: an ordered list of modes with strictly
+/// increasing trigger epochs. Mode 0 is active from cycle 0; each later
+/// mode takes effect at its epoch via the LLC's drain/flush transition
+/// protocol. A single-mode program is "static" and behaves exactly like a
+/// bare PartitionMap.
+class PartitionProgram {
+ public:
+  /// Static program: one mode active forever (the pre-refactor behavior).
+  explicit PartitionProgram(PartitionMap map);
+  explicit PartitionProgram(const mem::CacheGeometry& geometry);
+
+  /// Appends a mode taking effect at `start_cycle`. The first added mode
+  /// must start at cycle 0; later modes must be strictly later than their
+  /// predecessor. All modes must share the LLC geometry.
+  void add_mode(PartitionMap map, Cycle start_cycle,
+                std::vector<AppClass> core_class = {},
+                std::string label = {});
+
+  [[nodiscard]] int num_modes() const {
+    return static_cast<int>(modes_.size());
+  }
+  [[nodiscard]] const PartitionMode& mode(int index) const;
+
+  /// The mode-0 map (the one a static program is).
+  [[nodiscard]] const PartitionMap& initial() const;
+
+  /// True when the program never repartitions.
+  [[nodiscard]] bool is_static() const { return modes_.size() <= 1; }
+
+  /// Index of the mode whose epoch has been reached by `now`.
+  [[nodiscard]] int mode_index_at(Cycle now) const;
+
+  /// Throws ConfigError unless the program is non-empty, epochs are
+  /// strictly increasing from 0, geometries agree, and every mode's map
+  /// covers [0, num_cores).
+  void validate(int num_cores) const;
+
+  [[nodiscard]] const mem::CacheGeometry& geometry() const;
+
+ private:
+  std::vector<PartitionMode> modes_;
+  mem::CacheGeometry geometry_;
+};
+
 /// Builders for the paper's three configurations (Section 5 notation),
 /// placed at set/way offset (0, 0) upward:
 ///  - make_private_partitions: P(s, w) — one disjoint rectangle per core.
@@ -115,6 +188,14 @@ PartitionMap make_private_partitions(const mem::CacheGeometry& geometry,
 PartitionMap make_shared_partition(const mem::CacheGeometry& geometry,
                                    const std::vector<CoreId>& sharers,
                                    int num_sets, int num_ways);
+
+/// Dynamic-repartitioning mode builder: the same sharer assignment with
+/// every rectangle displaced by `way_bounce` ways. When any rectangle
+/// would fall off the way dimension the whole map shrinks by `way_bounce`
+/// ways instead (floor 1 way per partition) — either variant moves
+/// `way_bounce` way-columns per partition, giving transitions a tunable
+/// drain volume. `way_bounce` 0 returns an identical map (a no-op mode).
+PartitionMap make_way_bounced_map(const PartitionMap& map, int way_bounce);
 
 }  // namespace psllc::llc
 

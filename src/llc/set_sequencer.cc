@@ -130,6 +130,14 @@ void SetSequencer::remove(SetKey key, CoreId core) {
   }
 }
 
+void SetSequencer::clear() {
+  for (std::size_t i = 0; i < qlt_.size(); ++i) {
+    if (qlt_[i].valid) {
+      release_entry(static_cast<int>(i));
+    }
+  }
+}
+
 int SetSequencer::active_queues() const {
   int count = 0;
   for (const auto& entry : qlt_) {

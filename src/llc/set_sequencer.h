@@ -75,6 +75,12 @@ class SetSequencer {
   /// Number of sets with live queues (QLT occupancy).
   [[nodiscard]] int active_queues() const;
 
+  /// Drops every queue and QLT entry. Used by the repartition transition:
+  /// SetKeys embed partition ids, which are renumbered when the mode map
+  /// switches, so stale ordering state must not survive the switch. Waiting
+  /// cores re-enqueue deterministically at their next presentation.
+  void clear();
+
   [[nodiscard]] int num_queues() const {
     return static_cast<int>(queues_.size());
   }

@@ -139,6 +139,72 @@ PartitionPlan plan_partitions(const std::vector<Task>& tasks,
   return best;
 }
 
+llc::AppClass classify_task(const Task& task) {
+  if (task.criticality == Criticality::kHigh) {
+    return llc::AppClass::kSensitive;
+  }
+  // Miss intensity: >1 worst-case miss per 100 compute cycles means the
+  // task churns the LLC faster than it reuses it.
+  if (task.worst_case_llc_misses * 100 > task.wcet_compute) {
+    return llc::AppClass::kStreaming;
+  }
+  return llc::AppClass::kLight;
+}
+
+ModeSchedulePlan plan_mode_schedule(const std::vector<PhaseSpec>& phases,
+                                    const core::SystemConfig& config) {
+  PSLLC_CONFIG_CHECK(!phases.empty(), "mode schedule needs at least one phase");
+  PSLLC_CONFIG_CHECK(phases.front().start_cycle == 0,
+                     "first phase must start at cycle 0, got "
+                         << phases.front().start_cycle);
+  for (std::size_t p = 1; p < phases.size(); ++p) {
+    PSLLC_CONFIG_CHECK(
+        phases[p].start_cycle > phases[p - 1].start_cycle,
+        "phase start cycles must be strictly increasing: phase "
+            << p << " starts at " << phases[p].start_cycle << " <= "
+            << phases[p - 1].start_cycle);
+  }
+
+  ModeSchedulePlan plan;
+  plan.feasible = true;
+  bool all_maps = true;
+  for (const PhaseSpec& phase : phases) {
+    PartitionPlan phase_plan = plan_partitions(phase.tasks, config);
+    plan.feasible = plan.feasible && phase_plan.feasible;
+    all_maps = all_maps && phase_plan.partitions.has_value();
+    plan.phase_labels.push_back(phase.label);
+    plan.phases.push_back(std::move(phase_plan));
+  }
+  if (all_maps) {
+    llc::PartitionProgram program(config.llc.geometry);
+    for (std::size_t p = 0; p < phases.size(); ++p) {
+      std::vector<llc::AppClass> classes;
+      classes.reserve(phases[p].tasks.size());
+      for (const Task& task : phases[p].tasks) {
+        classes.push_back(classify_task(task));
+      }
+      program.add_mode(*plan.phases[p].partitions, phases[p].start_cycle,
+                       std::move(classes), phases[p].label);
+    }
+    program.validate(config.num_cores);
+    plan.program.emplace(std::move(program));
+  }
+  return plan;
+}
+
+std::string ModeSchedulePlan::describe() const {
+  std::string out;
+  for (std::size_t p = 0; p < phases.size(); ++p) {
+    out += "phase " + std::to_string(p);
+    if (!phase_labels[p].empty()) {
+      out += " (" + phase_labels[p] + ")";
+    }
+    out += ":\n" + phases[p].describe();
+  }
+  out += feasible ? "schedule: FEASIBLE\n" : "schedule: INFEASIBLE\n";
+  return out;
+}
+
 std::string PartitionPlan::describe() const {
   Table table({"task", "criticality", "partition", "WCET bound", "period",
                "schedulable"});

@@ -45,6 +45,44 @@ struct PartitionPlan {
 [[nodiscard]] PartitionPlan plan_partitions(const std::vector<Task>& tasks,
                                             const core::SystemConfig& config);
 
+/// LFOC-style class label for one task: high-criticality tasks are
+/// `kSensitive` (they motivate isolation regardless of footprint); the rest
+/// split on miss intensity — more than one worst-case LLC miss per hundred
+/// compute cycles is `kStreaming` (pollutes without reuse), anything
+/// lighter is `kLight`.
+[[nodiscard]] llc::AppClass classify_task(const Task& task);
+
+/// One operating phase of a mission: the task set active on the cores from
+/// `start_cycle` onward (task i runs on core i, as in plan_partitions).
+struct PhaseSpec {
+  std::string label;
+  Cycle start_cycle = 0;
+  std::vector<Task> tasks;  ///< one per core
+};
+
+/// A per-phase partition plan stitched into a time-varying mode schedule.
+struct ModeSchedulePlan {
+  bool feasible = false;  ///< every phase individually feasible
+  std::vector<PartitionPlan> phases;      ///< indexed like the input phases
+  std::vector<std::string> phase_labels;  ///< echoed from the input phases
+  /// The runnable schedule: one PartitionMode per phase, triggered at the
+  /// phase's start_cycle, core classes from classify_task. Present whenever
+  /// every phase produced a map (even near-miss infeasible ones, so callers
+  /// can inspect what would run).
+  std::optional<llc::PartitionProgram> program;
+
+  /// Human-readable per-phase summary.
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Plans a multi-mode schedule: runs plan_partitions per phase and stitches
+/// the resulting maps into a PartitionProgram whose transitions fire at the
+/// phase boundaries (executed by the LLC's drain/flush protocol). Phases
+/// must be non-empty, the first must start at cycle 0, and start cycles
+/// must be strictly increasing; throws ConfigError otherwise.
+[[nodiscard]] ModeSchedulePlan plan_mode_schedule(
+    const std::vector<PhaseSpec>& phases, const core::SystemConfig& config);
+
 }  // namespace psllc::rt
 
 #endif  // PSLLC_RT_PARTITION_PLANNER_H_

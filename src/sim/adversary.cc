@@ -35,10 +35,10 @@ LineAddr region_base(CoreId core) {
 /// The partition rectangle `core` allocates into.
 const llc::PartitionSpec& partition_of(const core::ExperimentSetup& setup,
                                        CoreId core) {
-  const int id = setup.partitions.partition_of(core);
+  const int id = setup.partitions().partition_of(core);
   PSLLC_ASSERT(id >= 0, "attack generation needs a partitioned core, got "
                             << to_string(core));
-  return setup.partitions.spec(id);
+  return setup.partitions().spec(id);
 }
 
 /// `count` distinct physical set indices of `part` to hammer. Edge mode
@@ -162,6 +162,51 @@ core::Trace storm_trace(const AttackSpec& spec,
   return trace;
 }
 
+core::Trace repart_trace(const AttackSpec& spec,
+                         const core::ExperimentSetup& setup, CoreId core,
+                         Rng& rng) {
+  const llc::PartitionSpec& part = partition_of(setup, core);
+  const int depth = conflict_depth(spec, setup, part);
+  const std::vector<int> targets =
+      target_set_indices(part, spec.target_sets, spec.edge_sets);
+  std::vector<std::vector<LineAddr>> pools;
+  pools.reserve(targets.size());
+  for (const int target : targets) {
+    pools.push_back(same_set_pool(part, target, region_base(core), depth));
+  }
+  const Cycle slot = setup.config.slot_width;
+  const int cores = std::max(1, setup.config.num_cores);
+  const Cycle epoch =
+      static_cast<Cycle>(spec.repartition_epoch_slots) * slot;
+  // Aim the first burst a couple of slots ahead of the trigger so its
+  // requests are still in flight when the drain window opens; later bursts
+  // keep hammering the frozen-then-reopened rectangle. Mostly-write
+  // traffic dirties the moved ways, maximizing the drain's write-back
+  // volume.
+  const Cycle lead = epoch > 2 * slot ? epoch - 2 * slot : 0;
+  const Cycle phase =
+      static_cast<Cycle>((core.value * spec.phase_stride) % cores) * slot;
+  core::Trace trace;
+  trace.reserve(static_cast<std::size_t>(spec.ops_per_core));
+  for (int i = 0; i < spec.ops_per_core; ++i) {
+    const bool burst_head = i % spec.burst_len == 0;
+    Cycle gap = 0;
+    if (i == 0) {
+      gap = lead + phase;
+    } else if (burst_head) {
+      gap = static_cast<Cycle>(spec.idle_slots) * slot;
+    }
+    const auto& pool = pools[static_cast<std::size_t>(i) % pools.size()];
+    const std::size_t slot_index =
+        rng.next_bool(0.125)
+            ? static_cast<std::size_t>(rng.next_below(pool.size()))
+            : (static_cast<std::size_t>(i) / pools.size()) % pool.size();
+    trace.push_back(
+        make_op(pool[slot_index], rng.next_bool(spec.write_fraction), gap));
+  }
+  return trace;
+}
+
 core::Trace burst_trace(const AttackSpec& spec,
                         const core::ExperimentSetup& setup, CoreId core,
                         Rng& rng) {
@@ -209,13 +254,14 @@ AttackKind attack_kind_from_string(std::string_view text) {
   }
   PSLLC_CONFIG_CHECK(false, "unknown attack kind '"
                                 << std::string(text)
-                                << "' (want conflict, storm or burst)");
+                                << "' (want conflict, storm, burst or "
+                                   "repart)");
   return AttackKind::kConflictStride;
 }
 
 std::vector<AttackKind> all_attack_kinds() {
   return {AttackKind::kConflictStride, AttackKind::kWritebackStorm,
-          AttackKind::kSlotBurst};
+          AttackKind::kSlotBurst, AttackKind::kRepartitionBurst};
 }
 
 std::string AttackSpec::key() const {
@@ -232,6 +278,15 @@ std::string AttackSpec::key() const {
   key += "|burst=" + std::to_string(burst_len);
   key += "|idle=" + std::to_string(idle_slots);
   key += "|phase=" + std::to_string(phase_stride);
+  // Post-seed fields append only when meaningful, so every spec minted
+  // before they existed keeps its content ID (and the committed goldens
+  // their rows).
+  if (asymmetric) {
+    key += "|asym=1";
+  }
+  if (kind == AttackKind::kRepartitionBurst) {
+    key += "|repoch=" + std::to_string(repartition_epoch_slots);
+  }
   return key;
 }
 
@@ -259,6 +314,10 @@ void AttackSpec::validate() const {
   PSLLC_CONFIG_CHECK(phase_stride >= 0 && phase_stride <= 64,
                      "attack phase_stride must be in [0, 64], got "
                          << phase_stride);
+  PSLLC_CONFIG_CHECK(
+      repartition_epoch_slots >= 1 && repartition_epoch_slots <= 65536,
+      "attack repartition_epoch_slots must be in [1, 65536], got "
+          << repartition_epoch_slots);
 }
 
 std::vector<AttackSpec> seed_manifest(AttackKind kind,
@@ -293,6 +352,17 @@ std::vector<AttackSpec> seed_manifest(AttackKind kind,
         spec.idle_slots = 2 - i >= 0 ? 2 - i : 0;
         spec.phase_stride = i == 2 ? 2 : 1;
         spec.write_fraction = 0.5;
+        break;
+      case AttackKind::kRepartitionBurst:
+        // Early/mid/late triggers with growing way bounce; the last seed
+        // is the asymmetric mix — repartition bursts on the cua while the
+        // other cores rotate through the classic aggressor patterns.
+        spec.target_sets = 1 + i;
+        spec.depth_factor = i == 1 ? 8 : 4;  // ways bounced at the switch
+        spec.repartition_epoch_slots = 12 + 12 * i;
+        spec.burst_len = 8;
+        spec.write_fraction = 0.75;
+        spec.asymmetric = i == 2;
         break;
     }
     spec.validate();
@@ -341,6 +411,19 @@ AttackSpec mutate_spec(const AttackSpec& spec, Rng& rng) {
       mutant.phase_stride = jitter(spec.phase_stride, 0, 8);
       mutant.target_sets = jitter(spec.target_sets, 1, 8);
       break;
+    case AttackKind::kRepartitionBurst:
+      mutant.repartition_epoch_slots = static_cast<int>(
+          std::clamp<std::int64_t>(spec.repartition_epoch_slots +
+                                       rng.next_in_range(-1, 1) * 4,
+                                   4, 256));
+      mutant.depth_factor = jitter(spec.depth_factor, 1, 8);
+      mutant.burst_len = static_cast<int>(std::clamp<std::int64_t>(
+          spec.burst_len + rng.next_in_range(-1, 1) * 4, 1, 64));
+      mutant.target_sets = jitter(spec.target_sets, 1, 8);
+      if (rng.next_bool(0.25)) {
+        mutant.asymmetric = !spec.asymmetric;
+      }
+      break;
   }
   mutant.validate();
   return mutant;
@@ -352,6 +435,17 @@ core::ExperimentSetup make_cell_setup(const AttackSpec& spec,
       core::make_paper_setup(config.notation, config.active_cores);
   setup.config.dram.backend = spec.backend;
   setup.config.validate();
+  if (spec.kind == AttackKind::kRepartitionBurst) {
+    // Two-mode program: bounce depth_factor ways at the spec's trigger
+    // epoch, so the drain window opens while the bursts are in flight.
+    const Cycle epoch = static_cast<Cycle>(spec.repartition_epoch_slots) *
+                        setup.config.slot_width;
+    llc::PartitionProgram program(setup.partitions());
+    program.add_mode(llc::make_way_bounced_map(setup.partitions(),
+                                               spec.depth_factor),
+                     epoch, {}, "bounce");
+    setup.program = std::move(program);
+  }
   return setup;
 }
 
@@ -360,13 +454,26 @@ core::Trace make_attack_trace(const AttackSpec& spec,
                               CoreId core) {
   spec.validate();
   Rng rng(mix_seed(spec.seed, static_cast<std::uint64_t>(core.value)));
-  switch (spec.kind) {
+  // Asymmetric cells: the core under analysis keeps the spec's pattern;
+  // every other core rotates through the classic aggressor families, so
+  // one cell mixes distinct per-core patterns.
+  AttackKind trace_kind = spec.kind;
+  if (spec.asymmetric && core.value > 0) {
+    constexpr AttackKind kRotation[3] = {AttackKind::kConflictStride,
+                                         AttackKind::kWritebackStorm,
+                                         AttackKind::kSlotBurst};
+    trace_kind =
+        kRotation[(static_cast<int>(spec.kind) + core.value) % 3];
+  }
+  switch (trace_kind) {
     case AttackKind::kConflictStride:
       return conflict_trace(spec, setup, core, rng);
     case AttackKind::kWritebackStorm:
       return storm_trace(spec, setup, core, rng);
     case AttackKind::kSlotBurst:
       return burst_trace(spec, setup, core, rng);
+    case AttackKind::kRepartitionBurst:
+      return repart_trace(spec, setup, core, rng);
   }
   PSLLC_ASSERT(false, "unreachable attack kind");
   return {};
@@ -418,11 +525,16 @@ AdversaryCell evaluate_cell(const AttackSpec& spec, const SweepConfig& config,
   cell.metrics = replay(request).metrics;
 
   const RunMetrics& m = cell.metrics;
-  if (m.completed && m.analytical_wcl > 0) {
-    cell.slack = static_cast<double>(m.analytical_wcl - m.observed_wcl) /
-                 static_cast<double>(m.analytical_wcl);
+  // Dynamic-program cells are scored against the transient bound (the
+  // steady bound does not claim to cover requests in flight across a mode
+  // switch); for static programs transient == steady, so the math is
+  // unchanged for every pre-existing cell.
+  const Cycle bound = std::max(m.analytical_wcl, m.transient_analytical_wcl);
+  if (m.completed && bound > 0) {
+    cell.slack = static_cast<double>(bound - m.observed_wcl) /
+                 static_cast<double>(bound);
   }
-  cell.violation = m.completed && m.observed_wcl > m.analytical_wcl;
+  cell.violation = m.completed && m.observed_wcl > bound;
   cell.near_miss = m.completed && !cell.violation &&
                    cell.slack <= options.near_miss_slack;
   return cell;

@@ -51,10 +51,18 @@
 namespace psllc::sim {
 
 /// The attack pattern families (>= 3 by design; see file comment).
+///
+///  * kRepartitionBurst — the cell's setup carries a two-mode partition
+///    program (the mode switch bounces depth_factor ways at the spec's
+///    trigger epoch) and the traces fire conflict bursts timed into the
+///    repartition window, so requests are in flight while the LLC drains —
+///    the scenario the transient WCL bound (core/wcl_analysis
+///    transient_wcl_terms) must cover.
 enum class AttackKind : std::uint8_t {
   kConflictStride,
   kWritebackStorm,
   kSlotBurst,
+  kRepartitionBurst,
 };
 
 [[nodiscard]] constexpr const char* to_string(AttackKind kind) {
@@ -62,12 +70,13 @@ enum class AttackKind : std::uint8_t {
     case AttackKind::kConflictStride: return "conflict";
     case AttackKind::kWritebackStorm: return "storm";
     case AttackKind::kSlotBurst: return "burst";
+    case AttackKind::kRepartitionBurst: return "repart";
   }
   return "?";
 }
 
-/// Parses "conflict", "storm", "burst" (case-insensitive). Throws
-/// ConfigError on unknown names.
+/// Parses "conflict", "storm", "burst", "repart" (case-insensitive).
+/// Throws ConfigError on unknown names.
 [[nodiscard]] AttackKind attack_kind_from_string(std::string_view text);
 
 /// All attack kinds, in canonical (enum) order.
@@ -103,9 +112,18 @@ struct AttackSpec {
   int idle_slots = 2;
   /// kSlotBurst: per-core phase offset, in slot widths per core index.
   int phase_stride = 1;
+  /// Cross-core asymmetric cell: core 0 runs this spec's pattern while the
+  /// other cores rotate through the remaining families, so one cell mixes
+  /// e.g. a conflict attacker with storm and burst aggressors.
+  bool asymmetric = false;
+  /// kRepartitionBurst: mode-switch trigger epoch, in TDM slot widths.
+  int repartition_epoch_slots = 24;
 
   /// Canonical '|'-separated rendering of every field — the preimage of
   /// id(). Two specs are interchangeable iff their keys are equal.
+  /// (Post-seed fields — asymmetric, repartition_epoch_slots — are
+  /// appended only when they differ from their defaults, keeping every
+  /// pre-existing spec ID and committed golden stable.)
   [[nodiscard]] std::string key() const;
   /// Stable content-addressed ID: content_id(key()), 16 hex digits (the
   /// fnv1a64 scheme of the shard work-unit protocol).

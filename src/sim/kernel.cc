@@ -99,11 +99,11 @@ class ReplayKernel {
         config_(setup.config),
         schedule_(config_.make_schedule()),
         memory_(config_.dram),
-        llc_(config_.llc, setup.partitions, config_.mode, config_.num_cores,
+        llc_(config_.llc, setup.program, config_.mode, config_.num_cores,
              memory_),
         tracker_(config_.num_cores, /*keep_records=*/false) {
     config_.validate();
-    llc_.partitions().validate_covers_cores(config_.num_cores);
+    llc_.program().validate(config_.num_cores);
     const int n = config_.num_cores;
     const std::size_t count = static_cast<std::size_t>(n);
     // Dense (core, phase) -> slots-until-next-owned table so the hot
@@ -180,6 +180,20 @@ class ReplayKernel {
       // the last slot inside the horizon. Lanes must never run past it.
       const Cycle deepest = (horizon - 1) * W;
       for (;;) {
+        // 0. Partition-mode transitions pin slots the idle-skip must not
+        //    jump: while a transition drains, every slot pumps it (legacy
+        //    executes every slot), and the first slot at or after the next
+        //    trigger epoch is where the mode switch fires. `fslot` is the
+        //    earliest such pinned slot (kNoSlot for static programs).
+        std::int64_t fslot = kNoSlot;
+        if (llc_.transition_active()) {
+          fslot = cur_slot;
+        } else {
+          const Cycle epoch = llc_.next_transition_epoch();
+          if (epoch != kNoCycle) {
+            fslot = std::max(cur_slot, first_slot_at_or_after(epoch, W));
+          }
+        }
         // 1. Earliest slot in which an already-buffered PRB/PWB message is
         //    pick-eligible (exact: enqueue times and slot ownership are
         //    both known).
@@ -207,7 +221,10 @@ class ReplayKernel {
         //    executed — until every unblocked lane provably cannot act
         //    before `action` (or the horizon).
         for (;;) {
-          const std::int64_t bound = std::min(action, horizon);
+          // Lanes must never run past a pinned transition slot either: its
+          // back-invalidations may evict private lines the lane would
+          // otherwise keep hitting.
+          const std::int64_t bound = std::min(std::min(action, horizon), fslot);
           std::int64_t best = kNoSlot;
           std::int64_t second = kNoSlot;
           int best_lane = -1;
@@ -247,8 +264,39 @@ class ReplayKernel {
             action = std::min(action, message_slot(best_lane, enq, cur_slot));
           }
         }
-        if (action >= horizon) {
+        if (std::min(action, fslot) >= horizon) {
           break;
+        }
+        if (fslot < action) {
+          // 2b. A pinned transition slot precedes the next bus action.
+          // Execute it only if the legacy loop would still be running
+          // there: advance lanes to its boundary (exactly what
+          // execute_slot would do) and replicate the `while (!all_done())`
+          // exit — traces finished and buffers drained earlier means
+          // legacy stopped before the trigger, mid-schedule or even
+          // mid-drain, and so must we.
+          const Cycle fstart = schedule_.slot_start(fslot);
+          for (int l = 0; l < n; ++l) {
+            advance_lane(l, fstart);
+          }
+          bool running = false;
+          std::int64_t exit_slot = last_action_slot + 1;
+          for (int l = 0; l < n && !running; ++l) {
+            const std::size_t s = static_cast<std::size_t>(l);
+            if (blocked_[s] != 0 || pc_[s] < lane_size_[s] ||
+                buffers_[s].has_request() || buffers_[s].has_writeback()) {
+              running = true;
+            } else {
+              exit_slot = std::max(exit_slot, done_slot_[s]);
+            }
+          }
+          if (!running && exit_slot <= fslot) {
+            break;
+          }
+          execute_slot(fslot);
+          last_action_slot = fslot;
+          cur_slot = fslot + 1;
+          continue;
         }
         // 3. Execute the action slot exactly like System::step_slot.
         execute_slot(action);
@@ -382,6 +430,11 @@ class ReplayKernel {
     for (int l = 0; l < n; ++l) {
       advance_lane(l, slot_start);
     }
+    // Mirror of System::step_slot step 1b: fire/pump mode transitions at
+    // the slot boundary before the owner pick.
+    for (const auto& binval : llc_.advance_transition(slot_start)) {
+      deliver_back_invalidation(binval, slot_start);
+    }
     const CoreId owner = schedule_.owner_of_slot(slot);
     const std::size_t o = static_cast<std::size_t>(owner.value);
     switch (buffers_[o].pick(slot_start)) {
@@ -405,6 +458,15 @@ class ReplayKernel {
           }
           const std::optional<mem::Evicted> victim =
               respond(owner.value, slot, completion, recovered_dirty);
+          const Cycle first_presented =
+              tracker_.inflight(owner).first_presented;
+          if (llc_.overlaps_transition(first_presented, completion)) {
+            const Cycle latency = completion - first_presented;
+            if (observed_transient_wcl_ == kNoCycle ||
+                latency > observed_transient_wcl_) {
+              observed_transient_wcl_ = latency;
+            }
+          }
           tracker_.on_completed(request_id, completion);
           if (victim) {
             handle_private_victim(owner, *victim, completion);
@@ -504,6 +566,9 @@ class ReplayKernel {
     metrics.completed = completed;
     metrics.end_cycle = end_cycle;
     metrics.analytical_wcl = core::analytical_wcl_cycles(setup_, CoreId{0});
+    metrics.transient_analytical_wcl =
+        core::transient_wcl_cycles(setup_, CoreId{0});
+    metrics.observed_transient_wcl = observed_transient_wcl_;
     metrics.llc_requests = tracker_.completed_requests();
     metrics.observed_wcl =
         tracker_.completed_requests() > 0 ? tracker_.max_service_latency() : 0;
@@ -536,6 +601,7 @@ class ReplayKernel {
   Backend memory_;
   llc::BasicPartitionedLlc<Backend> llc_;
   core::RequestTracker tracker_;
+  Cycle observed_transient_wcl_ = kNoCycle;
 
   // Hot-path TDM geometry: delta to the next slot owned by a core, indexed
   // by core * period + (slot % period). Built once in the constructor.

@@ -25,6 +25,9 @@ RunMetrics run_system(core::System& system,
   metrics.completed = result.all_done;
   metrics.end_cycle = result.end_cycle;
   metrics.analytical_wcl = core::analytical_wcl_cycles(setup, CoreId{0});
+  metrics.transient_analytical_wcl =
+      core::transient_wcl_cycles(setup, CoreId{0});
+  metrics.observed_transient_wcl = system.observed_transient_wcl();
   const core::RequestTracker& tracker = system.tracker();
   metrics.llc_requests = tracker.completed_requests();
   metrics.observed_wcl =

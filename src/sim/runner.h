@@ -19,6 +19,13 @@ struct RunMetrics {
   Cycle makespan = 0;       ///< max per-core trace finish time (Figure 8)
   Cycle observed_wcl = 0;   ///< max service latency over all requests (Fig 7)
   Cycle analytical_wcl = 0; ///< bound from core/wcl_analysis for core 0
+  /// Max service latency over requests in flight across a partition-mode
+  /// transition window; kNoCycle when none overlapped (always for static
+  /// programs).
+  Cycle observed_transient_wcl = kNoCycle;
+  /// Transient bound (core/wcl_analysis transient_wcl_cycles) for core 0;
+  /// equals analytical_wcl for static programs.
+  Cycle transient_analytical_wcl = 0;
   std::int64_t llc_requests = 0;  ///< completed LLC requests
   std::vector<Cycle> per_core_finish;
   std::vector<std::int64_t> per_core_l1_hits;

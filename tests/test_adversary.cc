@@ -162,7 +162,7 @@ TEST(AttackTrace, ConflictStrideFocusesTargetSetsBeyondAssociativity) {
   const SweepConfig config{"SS(32,2,2)", 2};
   const core::ExperimentSetup setup = make_cell_setup(spec, config);
   const llc::PartitionSpec& part =
-      setup.partitions.spec(setup.partitions.partition_of(CoreId{0}));
+      setup.partitions().spec(setup.partitions().partition_of(CoreId{0}));
   const core::Trace trace = make_attack_trace(spec, setup, CoreId{0});
   std::set<int> sets;
   std::set<Addr> lines;

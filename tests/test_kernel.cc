@@ -31,6 +31,10 @@ void expect_metrics_equal(const RunMetrics& kernel, const RunMetrics& legacy,
   EXPECT_EQ(kernel.makespan, legacy.makespan) << label;
   EXPECT_EQ(kernel.observed_wcl, legacy.observed_wcl) << label;
   EXPECT_EQ(kernel.analytical_wcl, legacy.analytical_wcl) << label;
+  EXPECT_EQ(kernel.observed_transient_wcl, legacy.observed_transient_wcl)
+      << label;
+  EXPECT_EQ(kernel.transient_analytical_wcl, legacy.transient_analytical_wcl)
+      << label;
   EXPECT_EQ(kernel.llc_requests, legacy.llc_requests) << label;
   EXPECT_EQ(kernel.per_core_finish, legacy.per_core_finish) << label;
   EXPECT_EQ(kernel.per_core_l1_hits, legacy.per_core_l1_hits) << label;
@@ -57,6 +61,14 @@ void expect_metrics_equal(const RunMetrics& kernel, const RunMetrics& legacy,
   EXPECT_EQ(kernel.llc_stats.steals, legacy.llc_stats.steals) << label;
   EXPECT_EQ(kernel.llc_stats.shared_write_flags,
             legacy.llc_stats.shared_write_flags)
+      << label;
+  EXPECT_EQ(kernel.llc_stats.repartitions, legacy.llc_stats.repartitions)
+      << label;
+  EXPECT_EQ(kernel.llc_stats.drain_writebacks,
+            legacy.llc_stats.drain_writebacks)
+      << label;
+  EXPECT_EQ(kernel.llc_stats.drain_back_invals,
+            legacy.llc_stats.drain_back_invals)
       << label;
   EXPECT_EQ(kernel.memory.reads, legacy.memory.reads) << label;
   EXPECT_EQ(kernel.memory.writes, legacy.memory.writes) << label;

@@ -85,9 +85,9 @@ TEST_P(MappingBoundsHold, ObservedWithinAnalytical) {
   // Theorems 4.7/4.8 are mapping-agnostic; verify empirically.
   core::ExperimentSetup setup = core::make_paper_setup("SS(2,4,4)", 4);
   PartitionMap remapped(setup.config.llc.geometry);
-  PartitionSpec spec = setup.partitions.spec(0);
+  PartitionSpec spec = setup.partitions().spec(0);
   spec.mapping = GetParam();
-  remapped.add_partition(spec, setup.partitions.sharers(0));
+  remapped.add_partition(spec, setup.partitions().sharers(0));
   core::System system(setup.config, std::move(remapped));
   sim::RandomWorkloadOptions workload;
   workload.range_bytes = 16384;

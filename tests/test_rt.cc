@@ -217,5 +217,93 @@ TEST(Planner, PlanRunsOnSimulatorWithinBounds) {
   }
 }
 
+// --- mode schedules ------------------------------------------------------------
+
+TEST(ModeSchedule, ClassifyTask) {
+  EXPECT_EQ(classify_task(
+                make_task("hi", Criticality::kHigh, 1000, 1, 100000)),
+            llc::AppClass::kSensitive);
+  // 50 misses over 1000 compute cycles: miss-dominated -> streaming.
+  EXPECT_EQ(classify_task(
+                make_task("st", Criticality::kLow, 1000, 50, 100000)),
+            llc::AppClass::kStreaming);
+  // 2 misses over 1000 compute cycles: fits private caches -> light.
+  EXPECT_EQ(classify_task(
+                make_task("lt", Criticality::kLow, 1000, 2, 100000)),
+            llc::AppClass::kLight);
+}
+
+TEST(ModeSchedule, StitchesPhasesIntoAProgram) {
+  std::vector<Task> cruise;
+  for (int c = 0; c < kCores; ++c) {
+    cruise.push_back(make_task(("bg" + std::to_string(c)).c_str(),
+                               Criticality::kLow, 5000, 20, 10'000'000));
+  }
+  std::vector<Task> landing;
+  landing.push_back(
+      make_task("flare", Criticality::kHigh, 20000, 100, 120'000));
+  for (int c = 1; c < kCores; ++c) {
+    landing.push_back(make_task(("cam" + std::to_string(c)).c_str(),
+                                Criticality::kLow, 5000, 500, 10'000'000));
+  }
+  const std::vector<PhaseSpec> phases = {
+      {"cruise", 0, cruise}, {"landing", 500'000, landing}};
+  const ModeSchedulePlan plan = plan_mode_schedule(phases, platform());
+  ASSERT_TRUE(plan.feasible);
+  ASSERT_TRUE(plan.program.has_value());
+  ASSERT_EQ(plan.program->num_modes(), 2);
+  EXPECT_FALSE(plan.program->is_static());
+  EXPECT_EQ(plan.program->mode(0).start_cycle, 0);
+  EXPECT_EQ(plan.program->mode(1).start_cycle, 500'000);
+  EXPECT_EQ(plan.program->mode(0).label, "cruise");
+  // Phase 1 core 0 is high-criticality -> sensitive; the camera tasks are
+  // miss-dominated -> streaming.
+  ASSERT_EQ(plan.program->mode(1).core_class.size(),
+            static_cast<std::size_t>(kCores));
+  EXPECT_EQ(plan.program->mode(1).core_class[0],
+            llc::AppClass::kSensitive);
+  EXPECT_EQ(plan.program->mode(1).core_class[1],
+            llc::AppClass::kStreaming);
+  EXPECT_NE(plan.describe().find("FEASIBLE"), std::string::npos);
+  // The stitched program is runnable as-is.
+  core::SystemConfig config = platform();
+  core::System system(config, *plan.program);
+  EXPECT_NO_THROW(system.llc().check_invariants());
+}
+
+TEST(ModeSchedule, RejectsBadPhaseTimelines) {
+  std::vector<Task> tasks;
+  for (int c = 0; c < kCores; ++c) {
+    tasks.push_back(make_task(("t" + std::to_string(c)).c_str(),
+                              Criticality::kLow, 5000, 20, 10'000'000));
+  }
+  EXPECT_THROW((void)plan_mode_schedule({}, platform()), ConfigError);
+  EXPECT_THROW(
+      (void)plan_mode_schedule({{"late", 100, tasks}}, platform()),
+      ConfigError);
+  EXPECT_THROW((void)plan_mode_schedule(
+                   {{"a", 0, tasks}, {"b", 0, tasks}}, platform()),
+               ConfigError);
+}
+
+TEST(ModeSchedule, InfeasiblePhasePropagates) {
+  std::vector<Task> good;
+  std::vector<Task> bad;
+  for (int c = 0; c < kCores; ++c) {
+    good.push_back(make_task(("g" + std::to_string(c)).c_str(),
+                             Criticality::kLow, 5000, 20, 10'000'000));
+    bad.push_back(make_task(("b" + std::to_string(c)).c_str(),
+                            Criticality::kLow, 1'000'000, 0, 100));
+  }
+  const ModeSchedulePlan plan =
+      plan_mode_schedule({{"ok", 0, good}, {"doomed", 1000, bad}},
+                         platform());
+  EXPECT_FALSE(plan.feasible);
+  ASSERT_EQ(plan.phases.size(), 2u);
+  EXPECT_TRUE(plan.phases[0].feasible);
+  EXPECT_FALSE(plan.phases[1].feasible);
+  EXPECT_NE(plan.describe().find("INFEASIBLE"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace psllc::rt

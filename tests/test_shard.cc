@@ -20,11 +20,14 @@
 
 #include "common/assert.h"
 #include "common/rng.h"
+#include "llc/partition.h"
 #include "results/merge.h"
 #include "results/result_store.h"
 #include "sim/corpus.h"
 #include "sim/experiment.h"
+#include "sim/replay.h"
 #include "sim/shard.h"
+#include "sim/workload.h"
 
 namespace psllc::sim {
 namespace {
@@ -330,6 +333,149 @@ void run_differential(const std::string& tag, BuildFn build,
   }
 }
 
+// --- repartition grid --------------------------------------------------------
+//
+// A down-sized repartition_sweep grid: two-transition partition programs
+// replayed on both engines per cell, including one cell whose horizon cuts
+// the run *inside* the first drain window — the mid-drain case a crashed
+// shard must reproduce exactly on resume.
+
+constexpr int kRepartitionAccesses = 250;
+
+struct RepartitionCellSpec {
+  const char* notation;
+  int way_bounce;
+  Cycle max_cycles;
+};
+
+const std::vector<RepartitionCellSpec>& repartition_cells() {
+  static const std::vector<RepartitionCellSpec> cells = {
+      {"SS(32,2,2)", 1, 2'000'000'000},
+      {"SS(32,2,2)", 2, 450},  // truncates mid-drain (epoch = 400 cycles)
+      {"NSS(32,2,2)", 1, 2'000'000'000},
+      {"P(8,2)", 2, 2'000'000'000},
+  };
+  return cells;
+}
+
+ShardPlan repartition_plan(int shard_count) {
+  ShardPlan plan("repartition_sweep",
+                 {{"profile", "quick"},
+                  {"seed", "7"},
+                  {"accesses", std::to_string(kRepartitionAccesses)}},
+                 shard_count);
+  for (const RepartitionCellSpec& cell : repartition_cells()) {
+    plan.add_unit("repartition_sweep",
+                  std::string(cell.notation) + "|b" +
+                      std::to_string(cell.way_bounce) + "|h" +
+                      std::to_string(cell.max_cycles));
+  }
+  return plan;
+}
+
+results::BenchResult repartition_bench_result(const ShardPlan& plan,
+                                              const ShardSpec* spec) {
+  const std::vector<RepartitionCellSpec>& cells = repartition_cells();
+  std::vector<bool> mask(cells.size(), true);
+  std::vector<std::size_t> owned;
+  if (spec != nullptr) {
+    mask.assign(cells.size(), false);
+    owned = plan.owned_ordinals(*spec);
+    for (const std::size_t ordinal : owned) {
+      mask[ordinal] = true;
+    }
+  }
+
+  results::RunMeta meta;
+  meta.bench = "repartition_sweep";
+  meta.title = "repartition grid (shard differential)";
+  meta.reference = "tests/test_shard.cc";
+  meta.set_param("profile", "quick");
+  meta.set_param("seed", "7");
+  meta.set_param("accesses", std::to_string(kRepartitionAccesses));
+  results::BenchResult res(std::move(meta));
+
+  auto& series = res.add_series(
+      "repartition_cells",
+      {{"config", results::ColumnType::kText, results::ColumnKind::kExact,
+        ""},
+       {"way_bounce", results::ColumnType::kInt, results::ColumnKind::kExact,
+        ""},
+       {"observed_transient_wcl", results::ColumnType::kInt,
+        results::ColumnKind::kTiming, "cycles"},
+       {"repartitions", results::ColumnType::kInt,
+        results::ColumnKind::kExact, ""},
+       {"drain_writebacks", results::ColumnType::kInt,
+        results::ColumnKind::kExact, ""},
+       {"engines_match", results::ColumnType::kInt,
+        results::ColumnKind::kExact, ""}});
+  std::vector<std::size_t> row_ordinals;
+  bool engines_identical = true;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (!mask[i]) {
+      continue;
+    }
+    const RepartitionCellSpec& cell = cells[i];
+    core::ExperimentSetup setup = core::make_paper_setup(cell.notation, 2);
+    const llc::PartitionMap initial = setup.partitions();
+    const Cycle epoch = 8 * setup.config.slot_width;
+    llc::PartitionProgram program(initial);
+    program.add_mode(llc::make_way_bounced_map(initial, cell.way_bounce),
+                     epoch, {}, "bounce");
+    program.add_mode(initial, 2 * epoch, {}, "restore");
+    setup.program = std::move(program);
+    RandomWorkloadOptions workload;
+    workload.range_bytes = 16384;
+    workload.accesses = kRepartitionAccesses;
+    workload.write_fraction = 0.5;
+    const auto traces =
+        make_disjoint_random_workload(2, workload, 7 + i);
+    ReplayRequest request;
+    request.setup = &setup;
+    request.workload.per_core = &traces;
+    request.options.max_cycles = cell.max_cycles;
+    request.engine = ReplayEngine::kKernel;
+    const RunMetrics kernel = replay(request).metrics;
+    request.engine = ReplayEngine::kLegacy;
+    const RunMetrics legacy = replay(request).metrics;
+    const bool match =
+        kernel.completed == legacy.completed &&
+        kernel.end_cycle == legacy.end_cycle &&
+        kernel.observed_wcl == legacy.observed_wcl &&
+        kernel.observed_transient_wcl == legacy.observed_transient_wcl &&
+        kernel.llc_requests == legacy.llc_requests &&
+        kernel.llc_stats.repartitions == legacy.llc_stats.repartitions &&
+        kernel.llc_stats.drain_writebacks ==
+            legacy.llc_stats.drain_writebacks &&
+        kernel.llc_stats.drain_back_invals ==
+            legacy.llc_stats.drain_back_invals;
+    engines_identical = engines_identical && match;
+    series.add_row(
+        {results::Value::of_text(cell.notation),
+         results::Value::of_int(cell.way_bounce),
+         results::Value::of_cycles(kernel.observed_transient_wcl,
+                                   kernel.observed_transient_wcl !=
+                                       kNoCycle),
+         results::Value::of_int(kernel.llc_stats.repartitions),
+         results::Value::of_int(kernel.llc_stats.drain_writebacks),
+         results::Value::of_int(match ? 1 : 0)});
+    row_ordinals.push_back(i);
+  }
+  res.add_claim("kernel and legacy bit-identical across transitions",
+                engines_identical);
+
+  if (spec != nullptr) {
+    std::vector<std::string> unit_ids;
+    for (const std::size_t ordinal : owned) {
+      unit_ids.push_back(plan.units()[ordinal].id);
+    }
+    results::set_shard_provenance(res.meta(), plan.content_hash(),
+                                  spec->index, spec->count, unit_ids);
+    results::set_shard_rows(res.meta(), "repartition_cells", row_ordinals);
+  }
+  return res;
+}
+
 // --- tests -------------------------------------------------------------------
 
 TEST(ShardPlan, ContentAddressedIdsAreStableAndDistinct) {
@@ -430,6 +576,44 @@ TEST(ShardDifferential, DemoCorpusGridMergesBitIdentical) {
 
 TEST(ShardDifferential, QuickFig8GridMergesBitIdentical) {
   run_differential("fig8", fig8_bench_result, fig8_plan);
+}
+
+TEST(ShardDifferential, RepartitionGridMergesBitIdentical) {
+  run_differential("repartition", repartition_bench_result,
+                   repartition_plan);
+}
+
+// Crash/resume through a mid-drain cell: the lost shard owns the cell whose
+// horizon stops inside the first drain window, and its re-run from the
+// manifest must reproduce that truncated transition state bit-identically.
+TEST(ShardResume, MidDrainRepartitionShardRestoresTheMerge) {
+  const int shard_count = 2;
+  const fs::path base = fresh_dir("psllc_shard_repartition_resume");
+  const fs::path manifest = base / "manifest.json";
+  {
+    const ShardPlan plan = repartition_plan(shard_count);
+    plan.write(manifest);
+    for (int index = 0; index < shard_count; ++index) {
+      const ShardSpec spec{index, shard_count};
+      repartition_bench_result(plan, &spec)
+          .write(base / ("shard_" + std::to_string(index)));
+    }
+  }
+  const fs::path golden = base / "golden";
+  repartition_bench_result(repartition_plan(1), nullptr).write(golden);
+
+  // Cell ordinal 1 is the mid-drain cell; under round-robin with two
+  // shards it belongs to shard 1 — the one that "crashes".
+  fs::remove_all(base / "shard_1");
+  const ShardPlan resumed = ShardPlan::load(manifest);
+  const ShardSpec spec{1, shard_count};
+  repartition_bench_result(resumed, &spec).write(base / "shard_1");
+
+  const fs::path merged = base / "merged";
+  results::merge_partial_stores(
+      merge_units(resumed), resumed.content_hash(),
+      {base / "shard_0", base / "shard_1"}, merged);
+  expect_stores_identical(golden, merged);
 }
 
 TEST(ShardMerge, RefusesDuplicateMissingAndForeignUnits) {

@@ -39,21 +39,22 @@ TEST(MakePaperSetup, SharedConfigurations) {
   const auto ss = make_paper_setup("SS(1,2,4)", 4);
   EXPECT_EQ(ss.config.num_cores, 4);
   EXPECT_EQ(ss.config.mode, llc::ContentionMode::kSetSequencer);
-  EXPECT_EQ(ss.partitions.num_partitions(), 1);
-  EXPECT_EQ(ss.partitions.sharer_count_of(CoreId{0}), 4);
+  EXPECT_EQ(ss.partitions().num_partitions(), 1);
+  EXPECT_EQ(ss.partitions().sharer_count_of(CoreId{0}), 4);
+  EXPECT_TRUE(ss.program.is_static());
 
   const auto nss = make_paper_setup("NSS(32,4,2)", 2);
   EXPECT_EQ(nss.config.mode, llc::ContentionMode::kBestEffort);
   EXPECT_EQ(nss.config.num_cores, 2);
-  EXPECT_EQ(nss.partitions.spec(0).num_sets, 32);
-  EXPECT_EQ(nss.partitions.spec(0).num_ways, 4);
+  EXPECT_EQ(nss.partitions().spec(0).num_sets, 32);
+  EXPECT_EQ(nss.partitions().spec(0).num_ways, 4);
 }
 
 TEST(MakePaperSetup, PrivateConfiguration) {
   const auto p = make_paper_setup("P(8,2)", 4);
-  EXPECT_EQ(p.partitions.num_partitions(), 4);
+  EXPECT_EQ(p.partitions().num_partitions(), 4);
   for (int c = 0; c < 4; ++c) {
-    EXPECT_EQ(p.partitions.sharer_count_of(CoreId{c}), 1);
+    EXPECT_EQ(p.partitions().sharer_count_of(CoreId{c}), 1);
   }
 }
 

@@ -143,6 +143,101 @@ INSTANTIATE_TEST_SUITE_P(
       return name;
     });
 
+// --- transient WCL bound (dynamic repartitioning) -------------------------
+
+llc::PartitionProgram two_mode_program(const ExperimentSetup& setup,
+                                       int way_bounce, Cycle epoch) {
+  llc::PartitionProgram program(setup.partitions());
+  program.add_mode(llc::make_way_bounced_map(setup.partitions(), way_bounce),
+                   epoch, {}, "bounce");
+  return program;
+}
+
+// For static programs the transient bound degenerates to the steady bound.
+TEST(TransientWclBound, StaticProgramEqualsSteadyBound) {
+  for (const char* notation : {"SS(1,2,4)", "NSS(1,2,4)", "P(1,2)"}) {
+    const ExperimentSetup setup = make_paper_setup(notation, 4);
+    EXPECT_EQ(transient_wcl_cycles(setup, CoreId{0}),
+              analytical_wcl_cycles(setup, CoreId{0}))
+        << notation;
+  }
+}
+
+// A real transition adds drain and requeue terms: the transient bound must
+// strictly dominate the steady bound, and the term decomposition must add
+// up.
+TEST(TransientWclBound, DynamicProgramDominatesSteadyAndDecomposes) {
+  for (const char* notation : {"SS(32,2,2)", "NSS(32,2,2)", "P(8,2)"}) {
+    ExperimentSetup setup = make_paper_setup(notation, 2);
+    setup.program = two_mode_program(setup, 2, 600);
+    const Cycle steady = analytical_wcl_cycles(setup, CoreId{0});
+    const Cycle transient = transient_wcl_cycles(setup, CoreId{0});
+    EXPECT_GT(transient, steady) << notation;
+    const TransientWclTerms terms = transient_wcl_terms(
+        setup.config, setup.program.mode(0).map, setup.program.mode(1).map,
+        CoreId{0});
+    EXPECT_EQ(terms.total(),
+              terms.steady_bound + terms.drain_bound + terms.requeue_bound)
+        << notation;
+    EXPECT_GT(terms.moved_entries, 0) << notation;
+    EXPECT_GE(terms.steady_bound, steady) << notation;
+  }
+}
+
+// More moved slot entries can only raise the drain term: the bound is
+// monotone in the way-bounce distance.
+TEST(TransientWclBound, MonotoneInWayBounce) {
+  const ExperimentSetup setup = make_paper_setup("SS(32,2,2)", 2);
+  Cycle previous = 0;
+  for (const int bounce : {0, 1, 2, 4}) {
+    const TransientWclTerms terms = transient_wcl_terms(
+        setup.config, setup.partitions(),
+        llc::make_way_bounced_map(setup.partitions(), bounce), CoreId{0});
+    EXPECT_GE(terms.total(), previous) << "bounce " << bounce;
+    previous = terms.total();
+  }
+}
+
+// count_moved_slots: identical maps move nothing; a one-way shift of a
+// 32-set x 2-way rectangle moves every covered slot of both rectangles'
+// symmetric difference.
+TEST(TransientWclBound, CountMovedSlots) {
+  const ExperimentSetup setup = make_paper_setup("SS(32,2,2)", 2);
+  EXPECT_EQ(count_moved_slots(setup.partitions(), setup.partitions()), 0);
+  const llc::PartitionMap bounced =
+      llc::make_way_bounced_map(setup.partitions(), 1);
+  EXPECT_GT(count_moved_slots(setup.partitions(), bounced), 0);
+}
+
+// The empirical transient property on a live two-transition run: every
+// request in flight across a transition window finishes within the
+// transient bound.
+TEST(TransientWclBound, ObservedTransientWithinBound) {
+  for (std::uint64_t seed : {41ULL, 42ULL}) {
+    ExperimentSetup setup = make_paper_setup("SS(32,2,2)", 2);
+    llc::PartitionProgram program(setup.partitions());
+    program.add_mode(llc::make_way_bounced_map(setup.partitions(), 2), 600,
+                     {}, "bounce");
+    program.add_mode(setup.partitions(), 1200, {}, "restore");
+    setup.program = std::move(program);
+    sim::RandomWorkloadOptions workload;
+    workload.range_bytes = 16384;
+    workload.accesses = 3000;
+    workload.write_fraction = 0.5;
+    const auto traces = sim::make_disjoint_random_workload(2, workload, seed);
+    const sim::RunMetrics metrics = sim::run_experiment(setup, traces);
+    ASSERT_TRUE(metrics.completed) << seed;
+    EXPECT_GE(metrics.llc_stats.repartitions, 1) << seed;
+    EXPECT_GT(metrics.transient_analytical_wcl, metrics.analytical_wcl)
+        << seed;
+    if (metrics.observed_transient_wcl != kNoCycle) {
+      EXPECT_LE(metrics.observed_transient_wcl,
+                metrics.transient_analytical_wcl)
+          << seed;
+    }
+  }
+}
+
 // The analytical hierarchy the paper reports: P bound < SS bound < NSS
 // bound for shared configurations on the same platform.
 TEST(WclBoundHierarchy, PrivateBelowSequencerBelowBestEffort) {
