@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -172,6 +173,92 @@ int run(bench::BenchContext& ctx) {
       kernel_seconds > 0 ? legacy_seconds / kernel_seconds : 0;
   std::printf("aggregate: %.2fx kernel over legacy (%.3fs vs %.3fs wall)\n",
               speedup, kernel_seconds, legacy_seconds);
+
+  // --- parallel engine regime ---------------------------------------------
+  // Dense, compose-eligible cell (private set-disjoint partitions, disjoint
+  // per-lane data, fixed-latency DRAM): the parallel engine's solo
+  // pre-pass + one verification round must beat the serial kernel by
+  // >= 1.5x at 4 worker threads. Wall-clock goes to the console only; the
+  // stored row carries the simulated metrics and the reconciliation
+  // accounting, all deterministic.
+  results::Series& parallel_series = res.add_series(
+      "parallel_replay",
+      {{"workload", results::ColumnType::kText, results::ColumnKind::kExact,
+        ""},
+       {"ops", results::ColumnType::kInt, results::ColumnKind::kExact,
+        "ops"},
+       {"llc_requests", results::ColumnType::kInt,
+        results::ColumnKind::kExact, "requests"},
+       {"makespan", results::ColumnType::kInt, results::ColumnKind::kExact,
+        "cycles"},
+       {"segments", results::ColumnType::kInt, results::ColumnKind::kExact,
+        "segments"},
+       {"reexecutions", results::ColumnType::kInt,
+        results::ColumnKind::kExact, "runs"},
+       {"engines_match", results::ColumnType::kInt,
+        results::ColumnKind::kExact, "bool"}});
+  {
+    sim::RandomWorkloadOptions options;
+    options.range_bytes = 65536;
+    options.accesses = accesses;
+    options.write_fraction = 0.4;
+    const std::vector<core::Trace> traces =
+        sim::make_disjoint_random_workload(4, options, 0x7e9);
+    const core::ExperimentSetup setup = core::make_paper_setup("P(8,4)", 4);
+    sim::ReplayRequest request;
+    request.setup = &setup;
+    request.workload.per_core = &traces;
+
+    const EngineRun serial =
+        run_engine(request, sim::ReplayEngine::kKernel, reps);
+    request.options.cell_threads = 4;
+    const EngineRun parallel =
+        run_engine(request, sim::ReplayEngine::kParallel, reps);
+    const bool match = metrics_equal(parallel.metrics, serial.metrics);
+    const double parallel_speedup =
+        parallel.seconds > 0 ? serial.seconds / parallel.seconds : 0;
+    // The speedup gate needs 4 hardware threads and an uninstrumented
+    // build to mean anything (sanitizer interceptors serialize enough to
+    // drown the parallelism); otherwise the claim records the (vacuous)
+    // pass and the console line says why. The correctness claims stay
+    // unconditional.
+    bool instrumented = false;
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+    instrumented = true;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+    instrumented = true;
+#endif
+#endif
+    const unsigned hw = std::thread::hardware_concurrency();
+    const bool measurable = hw >= 4 && !instrumented;
+    std::printf(
+        "parallel_dense: %.2fx over serial kernel at 4 threads "
+        "(%.3fs vs %.3fs wall, %lld segments, %lld re-executions)%s%s\n",
+        parallel_speedup, parallel.seconds, serial.seconds,
+        static_cast<long long>(parallel.metrics.parallel_segments),
+        static_cast<long long>(parallel.metrics.parallel_reexecutions),
+        measurable ? ""
+                   : "  [speedup gate skipped: < 4 hardware threads or "
+                     "sanitizer build]",
+        match ? "" : "  METRICS MISMATCH");
+
+    const std::int64_t ops = static_cast<std::int64_t>(4) * accesses;
+    parallel_series.add_row(
+        {results::Value::of_text("parallel_dense"),
+         results::Value::of_int(ops),
+         results::Value::of_int(parallel.metrics.llc_requests),
+         results::Value::of_int(
+             static_cast<std::int64_t>(parallel.metrics.makespan)),
+         results::Value::of_int(parallel.metrics.parallel_segments),
+         results::Value::of_int(parallel.metrics.parallel_reexecutions),
+         results::Value::of_int(match ? 1 : 0)});
+    res.add_claim("parallel_matches_serial",
+                  match && parallel.metrics.parallel_reexecutions == 0);
+    res.add_claim("parallel_speedup_1_5x",
+                  !measurable || parallel_speedup >= 1.5);
+  }
+
   res.add_claim("kernel_matches_legacy", all_match);
   res.add_claim("kernel_speedup_2x", speedup >= 2.0);
   return bench::finish_bench(ctx, res);

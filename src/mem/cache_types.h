@@ -34,6 +34,8 @@ struct LineMeta {
 
   [[nodiscard]] bool valid() const { return state != LineState::kInvalid; }
   [[nodiscard]] bool dirty() const { return state == LineState::kDirty; }
+
+  [[nodiscard]] constexpr bool operator==(const LineMeta&) const = default;
 };
 
 /// Shape of a set-associative cache.

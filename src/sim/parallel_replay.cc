@@ -1,0 +1,290 @@
+// See parallel_replay.h for the protocol contract. The replay body itself
+// is sim/replay_kernel.h — shared with the serial engine, which is what
+// makes "parallel == serial" a structural property rather than a hope.
+#include "sim/parallel_replay.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <exception>
+#include <limits>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/assert.h"
+#include "llc/partition.h"
+#include "mem/memory_backend.h"
+#include "sim/replay_kernel.h"
+
+namespace psllc::sim {
+
+namespace {
+
+/// True when every lane's replay is provably independent of every other
+/// lane's, so per-lane solo replays compose into exact boundary states:
+///  * per-core workload (shared sources alias one op stream);
+///  * static partition program (mode switches couple lanes through drains);
+///  * fixed-latency DRAM (bank-row / write-queue backends carry dynamic
+///    state that interleaves across lanes);
+///  * single-sharer, set-disjoint partitions (no shared LLC sets, no
+///    cross-core back-invalidations);
+///  * pairwise disjoint per-lane line ranges (no directory/set aliasing
+///    even across partitions).
+/// TDM arbitration needs no check: a lane's requests are presented in its
+/// own slots at times fixed by its own timeline alone.
+bool compose_eligible(const ReplayRequest& request) {
+  const core::ExperimentSetup& setup = *request.setup;
+  if (request.workload.per_core == nullptr) {
+    return false;
+  }
+  if (setup.program.num_modes() != 1) {
+    return false;
+  }
+  if (setup.config.dram.backend != mem::MemoryBackendKind::kFixedLatency) {
+    return false;
+  }
+  const llc::PartitionMap& map = setup.program.initial();
+  for (int p = 0; p < map.num_partitions(); ++p) {
+    if (map.sharers(p).size() > 1) {
+      return false;
+    }
+    const llc::PartitionSpec& a = map.spec(p);
+    for (int q = p + 1; q < map.num_partitions(); ++q) {
+      const llc::PartitionSpec& b = map.spec(q);
+      if (a.first_set < b.first_set + b.num_sets &&
+          b.first_set < a.first_set + a.num_sets) {
+        return false;
+      }
+    }
+  }
+  const std::vector<core::Trace>& traces = *request.workload.per_core;
+  std::vector<std::pair<LineAddr, LineAddr>> ranges;  // [min_line, max_line]
+  for (const core::Trace& trace : traces) {
+    if (trace.empty()) {
+      continue;
+    }
+    LineAddr lo = std::numeric_limits<LineAddr>::max();
+    LineAddr hi = 0;
+    for (const core::MemOp& op : trace) {
+      const LineAddr line = setup.config.private_caches.l2.line_of(op.addr);
+      lo = std::min(lo, line);
+      hi = std::max(hi, line);
+    }
+    ranges.emplace_back(lo, hi);
+  }
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    for (std::size_t j = i + 1; j < ranges.size(); ++j) {
+      if (ranges[i].first <= ranges[j].second &&
+          ranges[j].first <= ranges[i].second) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+template <typename Backend>
+RunMetrics run_parallel_with(const ReplayRequest& request, int threads) {
+  using Kernel = detail::ReplayKernel<Backend>;
+  using KState = typename Kernel::State;
+  const core::ExperimentSetup& setup = *request.setup;
+
+  // One kernel per segment, constructed and started once; rounds reuse them
+  // via restore(). The first also fixes the horizon.
+  std::vector<std::unique_ptr<Kernel>> kernels;
+  kernels.push_back(std::make_unique<Kernel>(setup));
+  kernels[0]->set_workload(request.workload);
+  kernels[0]->start(request.options);
+  const std::int64_t horizon = kernels[0]->horizon();
+  const std::int64_t T =
+      horizon > 0 ? std::min<std::int64_t>(threads, horizon) : 1;
+  for (std::int64_t i = 1; i < T; ++i) {
+    kernels.push_back(std::make_unique<Kernel>(setup));
+    kernels.back()->set_workload(request.workload);
+    kernels.back()->start(request.options);
+  }
+
+  // Slot-aligned segment boundaries, strictly increasing (T <= horizon).
+  std::vector<std::int64_t> b(static_cast<std::size_t>(T) + 1, 0);
+  for (std::int64_t i = 1; i < T; ++i) {
+    b[static_cast<std::size_t>(i)] = horizon * i / T;
+  }
+  b[static_cast<std::size_t>(T)] = horizon;
+
+  const auto fresh = std::make_unique<KState>(kernels[0]->snapshot());
+  std::vector<std::unique_ptr<KState>> inputs(static_cast<std::size_t>(T));
+  std::vector<std::unique_ptr<KState>> outputs(static_cast<std::size_t>(T));
+  inputs[0] = std::make_unique<KState>(*fresh);
+
+  // Boundary guesses for segments 1..T-1: exact composed states when the
+  // lanes are provably independent, cold (initial-state) guesses otherwise.
+  bool composed = false;
+  if (T > 1 && compose_eligible(request)) {
+    const std::vector<core::Trace>& traces = *request.workload.per_core;
+    const int lanes = static_cast<int>(traces.size());
+    // solo[lane][i] = lane's state at boundary b[i], i in 1..T-1.
+    std::vector<std::vector<std::unique_ptr<KState>>> solo(
+        static_cast<std::size_t>(lanes));
+    std::vector<std::exception_ptr> solo_errors(
+        static_cast<std::size_t>(lanes));
+    for (int wave = 0; wave < lanes; wave += threads) {
+      std::vector<std::thread> workers;
+      const int wave_end = std::min(lanes, wave + threads);
+      for (int lane = wave; lane < wave_end; ++lane) {
+        if (traces[static_cast<std::size_t>(lane)].empty()) {
+          continue;  // an idle lane contributes nothing beyond fresh state
+        }
+        workers.emplace_back([&, lane] {
+          try {
+            Kernel kernel(setup);
+            kernel.set_workload_solo(request.workload, lane);
+            kernel.start(request.options);
+            auto& states = solo[static_cast<std::size_t>(lane)];
+            states.resize(static_cast<std::size_t>(T));
+            for (std::int64_t i = 1; i < T; ++i) {
+              kernel.run_span(b[static_cast<std::size_t>(i)]);
+              states[static_cast<std::size_t>(i)] =
+                  std::make_unique<KState>(kernel.snapshot());
+            }
+          } catch (...) {
+            solo_errors[static_cast<std::size_t>(lane)] =
+                std::current_exception();
+          }
+        });
+      }
+      for (std::thread& worker : workers) {
+        worker.join();
+      }
+    }
+    for (int lane = 0; lane < lanes; ++lane) {
+      if (solo_errors[static_cast<std::size_t>(lane)]) {
+        std::rethrow_exception(solo_errors[static_cast<std::size_t>(lane)]);
+      }
+    }
+    for (std::int64_t i = 1; i < T; ++i) {
+      auto guess = std::make_unique<KState>(*fresh);
+      for (int lane = 0; lane < lanes; ++lane) {
+        const auto& states = solo[static_cast<std::size_t>(lane)];
+        if (states.empty()) {
+          continue;
+        }
+        const KState& s = *states[static_cast<std::size_t>(i)];
+        const std::size_t l = static_cast<std::size_t>(lane);
+        guess->pc[l] = s.pc[l];
+        guess->next_ready[l] = s.next_ready[l];
+        guess->finish_time[l] = s.finish_time[l];
+        guess->done_slot[l] = s.done_slot[l];
+        guess->gap_applied[l] = s.gap_applied[l];
+        guess->blocked[l] = s.blocked[l];
+        guess->out_addr[l] = s.out_addr[l];
+        guess->out_type[l] = s.out_type[l];
+        guess->caches[l] = s.caches[l];
+        guess->buffers[l] = s.buffers[l];
+        guess->tracker.absorb_solo(s.tracker);
+        guess->llc.adopt_solo_lane(s.llc, CoreId{lane});
+        guess->memory.absorb_solo_counters(s.memory);
+        guess->cur_slot = std::max(guess->cur_slot, s.cur_slot);
+        guess->last_action_slot =
+            std::max(guess->last_action_slot, s.last_action_slot);
+      }
+      inputs[static_cast<std::size_t>(i)] = std::move(guess);
+    }
+    composed = true;
+  }
+  if (!composed) {
+    for (std::int64_t i = 1; i < T; ++i) {
+      inputs[static_cast<std::size_t>(i)] = std::make_unique<KState>(*fresh);
+    }
+  }
+
+  // Reconciliation rounds: replay every invalidated segment concurrently,
+  // then a serial deterministic sweep promotes each segment whose input no
+  // longer matches its predecessor's output. Segment 0's input is exact, so
+  // the exact prefix grows by >= 1 segment per round; segment i therefore
+  // runs at most i + 1 <= T <= cell_threads times.
+  std::vector<char> needs_run(static_cast<std::size_t>(T), 1);
+  std::vector<std::int64_t> exec_count(static_cast<std::size_t>(T), 0);
+  for (std::int64_t round = 0;; ++round) {
+    PSLLC_ASSERT(round <= T, "reconciliation failed to reach a fixpoint in "
+                                 << T << " rounds");
+    std::vector<std::thread> workers;
+    std::vector<std::exception_ptr> errors(static_cast<std::size_t>(T));
+    for (std::int64_t i = 0; i < T; ++i) {
+      const std::size_t si = static_cast<std::size_t>(i);
+      if (needs_run[si] == 0) {
+        continue;
+      }
+      ++exec_count[si];
+      workers.emplace_back([&, i, si] {
+        try {
+          kernels[si]->restore(*inputs[si]);
+          kernels[si]->run_span(b[static_cast<std::size_t>(i) + 1]);
+          outputs[si] = std::make_unique<KState>(kernels[si]->snapshot());
+        } catch (...) {
+          errors[si] = std::current_exception();
+        }
+      });
+    }
+    for (std::thread& worker : workers) {
+      worker.join();
+    }
+    for (std::int64_t i = 0; i < T; ++i) {
+      if (errors[static_cast<std::size_t>(i)]) {
+        std::rethrow_exception(errors[static_cast<std::size_t>(i)]);
+      }
+    }
+    bool changed = false;
+    std::fill(needs_run.begin(), needs_run.end(), 0);
+    for (std::int64_t i = 1; i < T; ++i) {
+      const std::size_t si = static_cast<std::size_t>(i);
+      if (!Kernel::states_equal(*inputs[si], *outputs[si - 1])) {
+        inputs[si] = std::make_unique<KState>(*outputs[si - 1]);
+        needs_run[si] = 1;
+        changed = true;
+      }
+    }
+    if (!changed) {
+      break;
+    }
+  }
+
+  std::int64_t total_executions = 0;
+  for (std::int64_t i = 0; i < T; ++i) {
+    const std::int64_t count = exec_count[static_cast<std::size_t>(i)];
+    total_executions += count;
+    PSLLC_AUDIT(count <= threads,
+                "segment " << i << " replayed " << count
+                           << " times with cell_threads=" << threads);
+  }
+
+  kernels[static_cast<std::size_t>(T) - 1]->restore(
+      *outputs[static_cast<std::size_t>(T) - 1]);
+  RunMetrics metrics = kernels[static_cast<std::size_t>(T) - 1]->finalize();
+  metrics.parallel_segments = T;
+  metrics.parallel_reexecutions = total_executions - T;
+  return metrics;
+}
+
+}  // namespace
+
+RunMetrics run_parallel(const ReplayRequest& request, int cell_threads) {
+  PSLLC_ASSERT(parallel_eligible(request),
+               "run_parallel called with a parallel-ineligible request");
+  PSLLC_ASSERT(cell_threads >= 1,
+               "run_parallel needs cell_threads >= 1, got " << cell_threads);
+  switch (request.setup->config.dram.backend) {
+    case mem::MemoryBackendKind::kFixedLatency:
+      return run_parallel_with<mem::FixedLatencyBackend>(request,
+                                                         cell_threads);
+    case mem::MemoryBackendKind::kBankRow:
+      return run_parallel_with<mem::BankRowBackend>(request, cell_threads);
+    case mem::MemoryBackendKind::kWriteQueue:
+      return run_parallel_with<mem::WriteQueueBackend>(request, cell_threads);
+  }
+  PSLLC_ASSERT(false, "unknown memory backend kind "
+                          << static_cast<int>(request.setup->config.dram.backend));
+  return {};
+}
+
+}  // namespace psllc::sim

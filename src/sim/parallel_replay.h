@@ -1,0 +1,38 @@
+// Parallel intra-cell replay: speculative horizon splitting with
+// deterministic reconciliation.
+//
+// The horizon is cut into slot-aligned segments. Each segment replays on
+// its own kernel from a speculative boundary state; a serial reconciliation
+// sweep then compares each segment's input against its predecessor's output
+// (observational state equality) and re-executes invalidated segments until
+// fixpoint. Segment 0 starts from the exact initial state, so the exact
+// prefix grows by at least one segment per round and the sweep terminates
+// within `segments` rounds — and never re-executes a segment more than
+// `cell_threads` times (PSLLC_AUDIT contract).
+//
+// Boundary guesses: for fully independent lanes (per-core workload, static
+// single-sharer set-disjoint partitions, fixed-latency DRAM, data-disjoint
+// traces) the engine first replays each lane solo and composes exact
+// boundary states, converging in one verification round — this is the
+// speedup regime. Any other eligible cell falls back to cold guesses, which
+// converge serially (correct, no speedup).
+//
+// The result is bit-identical to the serial kernel (and hence the legacy
+// engine) for every RunMetrics field except the parallel_* diagnostics —
+// enforced by tests/test_parallel_replay.cc.
+#ifndef PSLLC_SIM_PARALLEL_REPLAY_H_
+#define PSLLC_SIM_PARALLEL_REPLAY_H_
+
+#include "sim/replay.h"
+
+namespace psllc::sim {
+
+/// Replays a parallel-eligible request with `cell_threads` workers (>= 1;
+/// 1 still exercises the segmented machinery with a single segment).
+/// Precondition: parallel_eligible(request) — replay() enforces this.
+[[nodiscard]] RunMetrics run_parallel(const ReplayRequest& request,
+                                      int cell_threads);
+
+}  // namespace psllc::sim
+
+#endif  // PSLLC_SIM_PARALLEL_REPLAY_H_

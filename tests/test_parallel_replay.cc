@@ -1,0 +1,443 @@
+// Differential battery for the parallel replay engine (sim/parallel_replay.h):
+// across memory backends x partition notations x repartition programs x
+// cell_threads counts, the speculative horizon-splitting engine must produce
+// RunMetrics bit-identical to the serial kernel (and hence to the legacy
+// core::System loop) in every field except the parallel_* diagnostics.
+// Also covers truncated horizons, idle cores, mid-drain segment boundaries,
+// shared/mapped-view workloads, the re-execution contract, and the forced
+// engine's rejection of parallel-ineligible requests.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/log.h"
+#include "llc/partition.h"
+#include "mem/memory_backend.h"
+#include "sim/replay.h"
+#include "sim/workload.h"
+
+namespace psllc::sim {
+namespace {
+
+/// Full-field equality, parallel vs serial — everything except the
+/// parallel_* diagnostics (which are zero for the serial engines by
+/// definition) must be bit-identical.
+void expect_metrics_equal(const RunMetrics& parallel, const RunMetrics& serial,
+                          const std::string& label) {
+  EXPECT_EQ(parallel.completed, serial.completed) << label;
+  EXPECT_EQ(parallel.end_cycle, serial.end_cycle) << label;
+  EXPECT_EQ(parallel.makespan, serial.makespan) << label;
+  EXPECT_EQ(parallel.observed_wcl, serial.observed_wcl) << label;
+  EXPECT_EQ(parallel.analytical_wcl, serial.analytical_wcl) << label;
+  EXPECT_EQ(parallel.observed_transient_wcl, serial.observed_transient_wcl)
+      << label;
+  EXPECT_EQ(parallel.transient_analytical_wcl,
+            serial.transient_analytical_wcl)
+      << label;
+  EXPECT_EQ(parallel.llc_requests, serial.llc_requests) << label;
+  EXPECT_EQ(parallel.per_core_finish, serial.per_core_finish) << label;
+  EXPECT_EQ(parallel.per_core_l1_hits, serial.per_core_l1_hits) << label;
+  EXPECT_EQ(parallel.per_core_l2_hits, serial.per_core_l2_hits) << label;
+  EXPECT_EQ(parallel.per_core_misses, serial.per_core_misses) << label;
+  EXPECT_EQ(parallel.llc_stats.hit_presentations,
+            serial.llc_stats.hit_presentations)
+      << label;
+  EXPECT_EQ(parallel.llc_stats.blocked_presentations,
+            serial.llc_stats.blocked_presentations)
+      << label;
+  EXPECT_EQ(parallel.llc_stats.fills, serial.llc_stats.fills) << label;
+  EXPECT_EQ(parallel.llc_stats.evictions_started,
+            serial.llc_stats.evictions_started)
+      << label;
+  EXPECT_EQ(parallel.llc_stats.immediate_frees,
+            serial.llc_stats.immediate_frees)
+      << label;
+  EXPECT_EQ(parallel.llc_stats.voluntary_writebacks,
+            serial.llc_stats.voluntary_writebacks)
+      << label;
+  EXPECT_EQ(parallel.llc_stats.freeing_writebacks,
+            serial.llc_stats.freeing_writebacks)
+      << label;
+  EXPECT_EQ(parallel.llc_stats.steals, serial.llc_stats.steals) << label;
+  EXPECT_EQ(parallel.llc_stats.shared_write_flags,
+            serial.llc_stats.shared_write_flags)
+      << label;
+  EXPECT_EQ(parallel.llc_stats.repartitions, serial.llc_stats.repartitions)
+      << label;
+  EXPECT_EQ(parallel.llc_stats.drain_writebacks,
+            serial.llc_stats.drain_writebacks)
+      << label;
+  EXPECT_EQ(parallel.llc_stats.drain_back_invals,
+            serial.llc_stats.drain_back_invals)
+      << label;
+  EXPECT_EQ(parallel.memory.reads, serial.memory.reads) << label;
+  EXPECT_EQ(parallel.memory.writes, serial.memory.writes) << label;
+  EXPECT_EQ(parallel.memory.row_hits, serial.memory.row_hits) << label;
+  EXPECT_EQ(parallel.memory.row_misses, serial.memory.row_misses) << label;
+  EXPECT_EQ(parallel.memory.queued_writes, serial.memory.queued_writes)
+      << label;
+  EXPECT_EQ(parallel.memory.drained_writes, serial.memory.drained_writes)
+      << label;
+  EXPECT_EQ(parallel.memory.write_stalls, serial.memory.write_stalls)
+      << label;
+  EXPECT_EQ(parallel.memory.max_queue_depth, serial.memory.max_queue_depth)
+      << label;
+  EXPECT_EQ(parallel.memory.max_latency, serial.memory.max_latency) << label;
+  EXPECT_EQ(parallel.dram_reads, serial.dram_reads) << label;
+  EXPECT_EQ(parallel.dram_writes, serial.dram_writes) << label;
+}
+
+/// The re-execution contract the audit preset enforces inside the engine:
+/// segment i is exact after at most i rounds, so the sweep never replays
+/// any segment more than cell_threads times in total.
+void expect_reexecution_contract(const RunMetrics& parallel, int threads,
+                                 const std::string& label) {
+  EXPECT_GE(parallel.parallel_segments, 1) << label;
+  EXPECT_LE(parallel.parallel_segments, threads) << label;
+  const std::int64_t T = parallel.parallel_segments;
+  EXPECT_GE(parallel.parallel_reexecutions, 0) << label;
+  EXPECT_LE(parallel.parallel_reexecutions, T * (T - 1) / 2) << label;
+}
+
+RunMetrics run_parallel_engine(const core::ExperimentSetup& setup,
+                               const std::vector<core::Trace>& traces,
+                               int threads, const std::string& label,
+                               Cycle max_cycles = 2'000'000'000) {
+  ReplayRequest request;
+  request.setup = &setup;
+  request.workload.per_core = &traces;
+  request.options.max_cycles = max_cycles;
+  request.options.cell_threads = threads;
+  request.engine = ReplayEngine::kParallel;
+  const ReplayResult result = replay(request);
+  EXPECT_TRUE(result.used_kernel) << label;
+  expect_reexecution_contract(result.metrics, threads, label);
+  return result.metrics;
+}
+
+RunMetrics run_serial_kernel(const core::ExperimentSetup& setup,
+                             const std::vector<core::Trace>& traces,
+                             const std::string& label,
+                             Cycle max_cycles = 2'000'000'000) {
+  ReplayRequest request;
+  request.setup = &setup;
+  request.workload.per_core = &traces;
+  request.options.max_cycles = max_cycles;
+  request.engine = ReplayEngine::kKernel;
+  const ReplayResult result = replay(request);
+  EXPECT_TRUE(result.used_kernel) << label;
+  EXPECT_EQ(result.metrics.parallel_segments, 0) << label;
+  EXPECT_EQ(result.metrics.parallel_reexecutions, 0) << label;
+  return result.metrics;
+}
+
+constexpr int kThreadCounts[] = {1, 2, 3, 8};
+
+/// Three-mode program (initial -> way-bounced -> restored), the same shape
+/// tests/test_repartition.cc drills: two full drain/flush transitions that
+/// segment boundaries may land inside.
+core::ExperimentSetup make_dynamic_setup(const char* notation, int cores,
+                                         int way_bounce, int cadence_slots) {
+  core::ExperimentSetup setup = core::make_paper_setup(notation, cores);
+  const llc::PartitionMap initial = setup.partitions();
+  const Cycle epoch = Cycle(cadence_slots) * setup.config.slot_width;
+  llc::PartitionProgram program(initial);
+  program.add_mode(llc::make_way_bounced_map(initial, way_bounce), epoch, {},
+                   "bounce");
+  program.add_mode(initial, 2 * epoch, {}, "restore");
+  setup.program = std::move(program);
+  return setup;
+}
+
+struct Shape {
+  const char* name;
+  std::int64_t range_bytes;
+  int accesses;
+  double write_fraction;
+  Cycle gap;
+};
+
+constexpr Shape kShapes[] = {
+    {"dense", 65536, 1500, 0.4, 0},
+    {"resident", 2048, 1500, 0.25, 0},
+    {"gappy", 32768, 800, 0.25, 9},
+    {"writeheavy", 32768, 1200, 0.9, 0},
+};
+
+// The tentpole contract on static programs: every backend, shared and
+// private notations, every thread count — bit-identical to the serial
+// kernel.
+TEST(ParallelDifferential, MatchesSerialAcrossBackendsNotationsAndThreads) {
+  const char* notations[] = {"SS(1,4,4)", "NSS(32,2,4)", "P(8,4)"};
+  std::uint64_t seed = 4242;
+  for (const mem::BackendVariant& variant :
+       mem::registered_backend_variants()) {
+    for (const char* notation : notations) {
+      const Shape& shape = kShapes[seed % std::size(kShapes)];
+      ++seed;
+      RandomWorkloadOptions workload;
+      workload.range_bytes = shape.range_bytes;
+      workload.accesses = shape.accesses;
+      workload.write_fraction = shape.write_fraction;
+      workload.gap = shape.gap;
+      const std::vector<core::Trace> traces =
+          make_disjoint_random_workload(4, workload, seed);
+      core::ExperimentSetup setup = core::make_paper_setup(notation, 4);
+      setup.config.dram = variant.config;
+      setup.config.validate();
+      const std::string base =
+          variant.label + " " + notation + " " + shape.name;
+      const RunMetrics serial = run_serial_kernel(setup, traces, base);
+      EXPECT_TRUE(serial.completed) << base;
+      for (const int threads : kThreadCounts) {
+        const std::string label = base + " t" + std::to_string(threads);
+        expect_metrics_equal(
+            run_parallel_engine(setup, traces, threads, label), serial,
+            label);
+      }
+    }
+  }
+}
+
+// Dynamic repartitioning: segment boundaries land before, inside, and after
+// drain/flush transition windows; reconciliation must still converge to the
+// serial result for every backend and thread count.
+TEST(ParallelDifferential, MatchesSerialThroughRepartitions) {
+  std::uint64_t seed = 77;
+  for (const mem::BackendVariant& variant :
+       mem::registered_backend_variants()) {
+    for (const int cadence : {120, 400}) {
+      ++seed;
+      RandomWorkloadOptions workload;
+      workload.range_bytes = 32768;
+      workload.accesses = 1200;
+      workload.write_fraction = 0.5;
+      const std::vector<core::Trace> traces =
+          make_disjoint_random_workload(4, workload, seed);
+      core::ExperimentSetup setup =
+          make_dynamic_setup("SS(32,2,4)", 4, 1, cadence);
+      setup.config.dram = variant.config;
+      setup.config.validate();
+      const std::string base =
+          variant.label + " dynamic cadence " + std::to_string(cadence);
+      const RunMetrics serial = run_serial_kernel(setup, traces, base);
+      for (const int threads : kThreadCounts) {
+        const std::string label = base + " t" + std::to_string(threads);
+        expect_metrics_equal(
+            run_parallel_engine(setup, traces, threads, label), serial,
+            label);
+      }
+    }
+  }
+}
+
+// Truncated horizons: the run ends incomplete at the horizon, and with a
+// cadence chosen so the cut lands mid-drain — the nastiest place for a
+// segment boundary to sit.
+TEST(ParallelDifferential, MatchesSerialOnTruncatedAndMidDrainHorizons) {
+  RandomWorkloadOptions workload;
+  workload.range_bytes = 65536;
+  workload.accesses = 4000;
+  const std::vector<core::Trace> traces =
+      make_disjoint_random_workload(4, workload, 9001);
+
+  const core::ExperimentSetup setup = core::make_paper_setup("SS(1,4,4)", 4);
+  const RunMetrics serial =
+      run_serial_kernel(setup, traces, "truncated", 20000);
+  EXPECT_FALSE(serial.completed);
+  for (const int threads : kThreadCounts) {
+    const std::string label = "truncated t" + std::to_string(threads);
+    expect_metrics_equal(
+        run_parallel_engine(setup, traces, threads, label, 20000), serial,
+        label);
+  }
+
+  // Horizon 450 slots into a transition triggered at slot 400: the replay
+  // stops while the drain is still in flight.
+  const core::ExperimentSetup dynamic =
+      make_dynamic_setup("SS(32,2,4)", 4, 1, 400);
+  const Cycle mid_drain = 450 * dynamic.config.slot_width;
+  const RunMetrics serial_drain =
+      run_serial_kernel(dynamic, traces, "mid-drain", mid_drain);
+  for (const int threads : kThreadCounts) {
+    const std::string label = "mid-drain t" + std::to_string(threads);
+    expect_metrics_equal(
+        run_parallel_engine(dynamic, traces, threads, label, mid_drain),
+        serial_drain, label);
+  }
+}
+
+// Idle cores: fewer traces than cores plus an explicitly empty trace.
+TEST(ParallelDifferential, MatchesSerialWithIdleCores) {
+  RandomWorkloadOptions workload;
+  workload.range_bytes = 16384;
+  workload.accesses = 1000;
+  std::vector<core::Trace> traces =
+      make_disjoint_random_workload(2, workload, 321);
+  traces.push_back(core::Trace{});
+  const core::ExperimentSetup setup = core::make_paper_setup("SS(1,4,4)", 4);
+  const RunMetrics serial = run_serial_kernel(setup, traces, "idle");
+  for (const int threads : kThreadCounts) {
+    const std::string label = "idle t" + std::to_string(threads);
+    expect_metrics_equal(run_parallel_engine(setup, traces, threads, label),
+                         serial, label);
+  }
+}
+
+// Shared-trace workloads (not compose-eligible: every replica reads one op
+// stream) still replay correctly through cold-guess reconciliation, and the
+// three engines agree.
+TEST(ParallelDifferential, MatchesSerialAndLegacyOnSharedWorkload) {
+  RandomWorkloadOptions workload;
+  workload.range_bytes = 16384;
+  workload.accesses = 1200;
+  workload.write_fraction = 0.5;
+  const core::Trace trace = make_uniform_random_trace(0, workload, 777);
+  const core::ExperimentSetup setup = core::make_paper_setup("NSS(1,4,4)", 4);
+  ReplayRequest request;
+  request.setup = &setup;
+  request.workload.shared = &trace;
+  request.workload.replicas = 4;
+  request.workload.window = Addr{1} << 20;
+
+  request.engine = ReplayEngine::kKernel;
+  const RunMetrics serial = replay(request).metrics;
+  request.engine = ReplayEngine::kLegacy;
+  const RunMetrics legacy = replay(request).metrics;
+  expect_metrics_equal(serial, legacy, "shared serial vs legacy");
+
+  request.engine = ReplayEngine::kParallel;
+  for (const int threads : kThreadCounts) {
+    request.options.cell_threads = threads;
+    const std::string label = "shared t" + std::to_string(threads);
+    const ReplayResult result = replay(request);
+    EXPECT_TRUE(result.used_kernel) << label;
+    expect_reexecution_contract(result.metrics, threads, label);
+    expect_metrics_equal(result.metrics, serial, label);
+  }
+}
+
+// The compose-eligible regime (private set-disjoint partitions, disjoint
+// per-lane data, fixed-latency DRAM, static program): solo boundary guesses
+// must be exact, so reconciliation converges with ZERO re-executions. This
+// is the regime the throughput bench gates a speedup on — any inexactness
+// here silently degrades the engine to serial speed, so it fails loudly.
+TEST(ParallelDifferential, ComposedSoloGuessesAreExact) {
+  RandomWorkloadOptions workload;
+  workload.range_bytes = 65536;
+  workload.accesses = 3000;
+  workload.write_fraction = 0.4;
+  const std::vector<core::Trace> traces =
+      make_disjoint_random_workload(4, workload, 1234);
+  const core::ExperimentSetup setup = core::make_paper_setup("P(8,4)", 4);
+  const RunMetrics serial = run_serial_kernel(setup, traces, "compose");
+  for (const int threads : {2, 4, 8}) {
+    const std::string label = "compose t" + std::to_string(threads);
+    const RunMetrics parallel =
+        run_parallel_engine(setup, traces, threads, label);
+    expect_metrics_equal(parallel, serial, label);
+    EXPECT_EQ(parallel.parallel_segments, threads) << label;
+    EXPECT_EQ(parallel.parallel_reexecutions, 0) << label;
+  }
+}
+
+// Determinism: the reconciliation schedule (segment count and re-execution
+// total) is a pure function of the request — two identical runs agree.
+TEST(ParallelDifferential, ReexecutionScheduleIsDeterministic) {
+  RandomWorkloadOptions workload;
+  workload.range_bytes = 65536;
+  workload.accesses = 1500;
+  const std::vector<core::Trace> traces =
+      make_disjoint_random_workload(4, workload, 555);
+  const core::ExperimentSetup setup = core::make_paper_setup("SS(1,4,4)", 4);
+  const RunMetrics a = run_parallel_engine(setup, traces, 3, "det a");
+  const RunMetrics b = run_parallel_engine(setup, traces, 3, "det b");
+  expect_metrics_equal(a, b, "det");
+  EXPECT_EQ(a.parallel_segments, b.parallel_segments);
+  EXPECT_EQ(a.parallel_reexecutions, b.parallel_reexecutions);
+}
+
+// Engine selection: kAuto takes the parallel engine exactly when the
+// request is eligible AND more than one thread is requested.
+TEST(ParallelEligibility, AutoRoutesOnThreadCount) {
+  RandomWorkloadOptions workload;
+  workload.range_bytes = 8192;
+  workload.accesses = 600;
+  const std::vector<core::Trace> traces =
+      make_disjoint_random_workload(4, workload, 88);
+  const core::ExperimentSetup setup = core::make_paper_setup("SS(1,4,4)", 4);
+  ReplayRequest request;
+  request.setup = &setup;
+  request.workload.per_core = &traces;
+  EXPECT_TRUE(parallel_eligible(request));
+
+  request.options.cell_threads = 1;
+  EXPECT_EQ(effective_cell_threads(request.options), 1);
+  const ReplayResult serial = replay(request);
+  EXPECT_TRUE(serial.used_kernel);
+  EXPECT_EQ(serial.metrics.parallel_segments, 0);
+
+  request.options.cell_threads = 4;
+  EXPECT_EQ(effective_cell_threads(request.options), 4);
+  const ReplayResult parallel = replay(request);
+  EXPECT_TRUE(parallel.used_kernel);
+  EXPECT_EQ(parallel.metrics.parallel_segments, 4);
+  expect_metrics_equal(parallel.metrics, serial.metrics, "auto t4 vs t1");
+}
+
+// The forced parallel engine must refuse requests that need legacy-only
+// observability, exactly like the forced serial kernel does.
+TEST(ParallelEligibility, ForcedParallelRejectsIneligibleRequests) {
+  RandomWorkloadOptions workload;
+  workload.accesses = 50;
+  const std::vector<core::Trace> traces =
+      make_disjoint_random_workload(2, workload, 5);
+  core::ExperimentSetup records = core::make_paper_setup("SS(1,4,4)", 4);
+  records.config.keep_request_records = true;
+  ReplayRequest request;
+  request.setup = &records;
+  request.workload.per_core = &traces;
+  request.engine = ReplayEngine::kParallel;
+  EXPECT_FALSE(parallel_eligible(request));
+  EXPECT_THROW((void)replay(request), ConfigError);
+
+  core::ExperimentSetup plain = core::make_paper_setup("SS(1,4,4)", 4);
+  request.setup = &plain;
+  const LogLevel saved = Logger::instance().level();
+  Logger::instance().set_level(LogLevel::kDebug);
+  EXPECT_FALSE(parallel_eligible(request));
+  EXPECT_THROW((void)replay(request), ConfigError);
+  Logger::instance().set_level(saved);
+  EXPECT_TRUE(parallel_eligible(request));
+}
+
+// Degenerate horizons: a zero-cycle horizon collapses to one segment, and a
+// horizon shorter than the thread count caps the segment count at one
+// segment per slot.
+TEST(ParallelEligibility, DegenerateHorizons) {
+  RandomWorkloadOptions workload;
+  workload.accesses = 200;
+  const std::vector<core::Trace> traces =
+      make_disjoint_random_workload(4, workload, 31);
+  const core::ExperimentSetup setup = core::make_paper_setup("SS(1,4,4)", 4);
+
+  const RunMetrics zero =
+      run_parallel_engine(setup, traces, 8, "horizon 0", 0);
+  EXPECT_FALSE(zero.completed);
+  EXPECT_EQ(zero.parallel_segments, 1);
+
+  const Cycle three_slots = 3 * setup.config.slot_width;
+  const RunMetrics serial =
+      run_serial_kernel(setup, traces, "3 slots", three_slots);
+  const RunMetrics tiny =
+      run_parallel_engine(setup, traces, 8, "3 slots t8", three_slots);
+  EXPECT_LE(tiny.parallel_segments, 3);
+  expect_metrics_equal(tiny, serial, "3 slots");
+}
+
+}  // namespace
+}  // namespace psllc::sim
